@@ -1,0 +1,30 @@
+"""Shared benchmark scaffolding.
+
+Each benchmark regenerates one paper artifact at quick scale, prints the
+table the paper reports, and asserts the reproduction's shape checks.
+pytest-benchmark times the (single-round) harness execution; experiment
+runs are memoized per process, so figure pairs that share a grid
+(12/13, 14/15) pay for it once.
+"""
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+
+@pytest.fixture
+def run_artifact(benchmark):
+    """Benchmark one experiment harness and verify its expectations."""
+
+    def _run(experiment_id, check_expectations=True):
+        result = benchmark.pedantic(
+            lambda: run_experiment(experiment_id), rounds=1, iterations=1)
+        print()
+        print(result.render())
+        if check_expectations:
+            failed = [name for name, ok in result.expectations.items()
+                      if not ok]
+            assert not failed, f"shape checks failed: {failed}"
+        return result
+
+    return _run

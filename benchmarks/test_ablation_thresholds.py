@@ -1,0 +1,47 @@
+"""Ablation: NI_TH sensitivity (the design choice DESIGN.md calls out).
+
+NMAP's boost trigger is "polling packets per interrupt > NI_TH". A tiny
+threshold re-boosts on healthy polling (energy approaches performance);
+a huge one reacts too late (latency approaches ondemand). The profiled
+value sits in the regime that achieves both.
+"""
+
+from repro.core.nmap import NmapThresholds
+from repro.experiments.runner import run_cached
+from repro.metrics.report import format_table
+from repro.system import DEFAULT_NMAP_THRESHOLDS, ServerConfig
+from repro.units import MS
+
+NI_SWEEP = (2.0, 20.0, 200.0, 2000.0)
+
+
+def run_sweep():
+    rows = []
+    p99 = {}
+    energy = {}
+    cu_th = DEFAULT_NMAP_THRESHOLDS["memcached"].cu_th
+    for ni_th in NI_SWEEP:
+        config = ServerConfig(
+            app="memcached", load_level="high", freq_governor="nmap",
+            n_cores=2, seed=1,
+            nmap_thresholds=NmapThresholds(ni_th=ni_th, cu_th=cu_th))
+        result = run_cached(config, 300 * MS)
+        p99[ni_th] = result.slo_result().normalized_p99
+        energy[ni_th] = result.energy_j
+        rows.append([ni_th, round(p99[ni_th], 3), round(energy[ni_th], 3)])
+    return rows, p99, energy
+
+
+def test_ablation_ni_threshold(benchmark):
+    rows, p99, energy = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(["NI_TH", "p99/SLO", "energy (J)"], rows,
+                       title="ablation: NI_TH sweep (memcached, high)"))
+    # Later boosts can only hurt latency...
+    assert p99[NI_SWEEP[-1]] >= p99[NI_SWEEP[0]]
+    # ...and an effectively-infinite threshold degenerates to ondemand,
+    # which violates the SLO at high load.
+    assert p99[NI_SWEEP[-1]] > 1.0
+    # The profiled default keeps the SLO.
+    default = DEFAULT_NMAP_THRESHOLDS["memcached"].ni_th
+    assert NI_SWEEP[0] <= default <= NI_SWEEP[2]

@@ -1,0 +1,5 @@
+"""Benchmark: regenerate paper artifact fig2 (quick scale)."""
+
+
+def test_fig02(run_artifact):
+    run_artifact("fig2")

@@ -1,0 +1,5 @@
+"""Benchmark: regenerate paper artifact fig3 (quick scale)."""
+
+
+def test_fig03(run_artifact):
+    run_artifact("fig3")

@@ -1,0 +1,5 @@
+"""Benchmark: regenerate paper artifact fig4 (quick scale)."""
+
+
+def test_fig04(run_artifact):
+    run_artifact("fig4")

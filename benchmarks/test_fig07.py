@@ -1,0 +1,5 @@
+"""Benchmark: regenerate paper artifact fig7 (quick scale)."""
+
+
+def test_fig07(run_artifact):
+    run_artifact("fig7")

@@ -1,0 +1,5 @@
+"""Benchmark: regenerate paper artifact fig8 (quick scale)."""
+
+
+def test_fig08(run_artifact):
+    run_artifact("fig8")

@@ -1,0 +1,5 @@
+"""Benchmark: regenerate paper artifact fig9 (quick scale)."""
+
+
+def test_fig09(run_artifact):
+    run_artifact("fig9")

@@ -1,0 +1,5 @@
+"""Benchmark: regenerate paper artifact fig10 (quick scale)."""
+
+
+def test_fig10(run_artifact):
+    run_artifact("fig10")

@@ -1,0 +1,5 @@
+"""Benchmark: regenerate paper artifact fig11 (quick scale)."""
+
+
+def test_fig11(run_artifact):
+    run_artifact("fig11")

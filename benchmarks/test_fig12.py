@@ -1,0 +1,5 @@
+"""Benchmark: regenerate paper artifact fig12 (quick scale)."""
+
+
+def test_fig12(run_artifact):
+    run_artifact("fig12")

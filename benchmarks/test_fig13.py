@@ -1,0 +1,5 @@
+"""Benchmark: regenerate paper artifact fig13 (quick scale)."""
+
+
+def test_fig13(run_artifact):
+    run_artifact("fig13")

@@ -1,0 +1,5 @@
+"""Benchmark: regenerate paper artifact fig14 (quick scale)."""
+
+
+def test_fig14(run_artifact):
+    run_artifact("fig14")

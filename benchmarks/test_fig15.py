@@ -1,0 +1,5 @@
+"""Benchmark: regenerate paper artifact fig15 (quick scale)."""
+
+
+def test_fig15(run_artifact):
+    run_artifact("fig15")

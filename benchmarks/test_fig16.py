@@ -1,0 +1,5 @@
+"""Benchmark: regenerate paper artifact fig16 (quick scale)."""
+
+
+def test_fig16(run_artifact):
+    run_artifact("fig16")

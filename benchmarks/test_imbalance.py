@@ -1,0 +1,5 @@
+"""Benchmark: per-core DVFS advantage under skewed RSS load."""
+
+
+def test_imbalance(run_artifact):
+    run_artifact("imbalance")

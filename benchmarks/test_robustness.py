@@ -1,0 +1,5 @@
+"""Benchmark: headline orderings across random seeds."""
+
+
+def test_robustness_across_seeds(run_artifact):
+    run_artifact("robustness")

@@ -1,0 +1,5 @@
+"""Benchmark: the latency-load curves behind the paper's SLO choices."""
+
+
+def test_slo_calibration(run_artifact):
+    run_artifact("slo")

@@ -1,0 +1,5 @@
+"""Benchmark: regenerate paper artifact tab1 (quick scale)."""
+
+
+def test_tab01(run_artifact):
+    run_artifact("tab1")

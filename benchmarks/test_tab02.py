@@ -1,0 +1,5 @@
+"""Benchmark: regenerate paper artifact tab2 (quick scale)."""
+
+
+def test_tab02(run_artifact):
+    run_artifact("tab2")

@@ -1,0 +1,44 @@
+"""Compare every power manager on one workload (a mini Fig. 12/13).
+
+Usage::
+
+    python examples/governor_comparison.py [memcached|nginx] [low|medium|high]
+"""
+
+import sys
+
+from repro import ServerConfig, ServerSystem
+from repro.metrics.report import format_table
+from repro.units import MS
+
+GOVERNORS = ("performance", "ondemand", "intel_powersave", "conservative",
+             "nmap-simpl", "nmap", "ncap", "parties")
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "memcached"
+    level = sys.argv[2] if len(sys.argv) > 2 else "high"
+
+    rows = []
+    baseline_energy = None
+    for governor in GOVERNORS:
+        config = ServerConfig(app=app, load_level=level,
+                              freq_governor=governor, n_cores=2, seed=7)
+        result = ServerSystem(config).run(300 * MS)
+        slo = result.slo_result()
+        if governor == "performance":
+            baseline_energy = result.energy_j
+        rows.append([
+            governor,
+            round(slo.p99_ns / 1e6, 3),
+            round(slo.normalized_p99, 2),
+            "OK" if slo.satisfied else "VIOLATED",
+            round(result.energy_j / baseline_energy, 3),
+        ])
+    print(format_table(
+        ["governor", "p99 (ms)", "p99/SLO", "SLO", "energy vs performance"],
+        rows, title=f"{app} @ {level} load (2 cores, 300 ms)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables `pip install -e .` without the wheel package
+(this environment is offline and has no PEP 660 backend available)."""
+
+from setuptools import setup
+
+setup()

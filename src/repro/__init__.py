@@ -1,0 +1,34 @@
+"""repro: a full-stack reproduction of NMAP (MICRO 2021).
+
+NMAP — Network packet processing Mode-Aware Power management — drives
+per-core DVFS from the interrupt/polling mode transitions of Linux NAPI.
+This package reproduces the paper's system and evaluation on a
+nanosecond-resolution discrete-event simulation of the server stack:
+cores with P/C-states and re-transition latency, a multi-queue NIC with
+RSS and interrupt moderation, the NAPI/softirq/ksoftirqd machinery, the
+Linux governors, NMAP itself, and the NCAP/Parties baselines.
+
+Quickstart::
+
+    from repro import ServerConfig, ServerSystem
+    from repro.units import MS
+
+    config = ServerConfig(app="memcached", load_level="high",
+                          freq_governor="nmap", idle_governor="menu")
+    result = ServerSystem(config).run(300 * MS)
+    print(result.latency_stats().describe())
+    print(result.slo_result())
+"""
+
+from repro.system import (DEFAULT_NMAP_THRESHOLDS, RunResult, ServerConfig,
+                          ServerSystem, run_server)
+from repro.core.nmap import NmapThresholds
+from repro.core.profiling import profile_thresholds
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ServerConfig", "ServerSystem", "RunResult", "run_server",
+    "NmapThresholds", "profile_thresholds", "DEFAULT_NMAP_THRESHOLDS",
+    "__version__",
+]

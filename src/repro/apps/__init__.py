@@ -1,0 +1,16 @@
+"""Latency-critical server applications: memcached and nginx models.
+
+Each application supplies (a) a request factory the client uses to stamp
+requests with kind/size/service cost, and (b) per-core worker threads that
+pop the socket queue, execute the service cycles, and transmit responses.
+Service costs are in *cycles*, so a core's P-state directly scales service
+time — the coupling every governor in the paper exploits.
+"""
+
+from repro.apps.base import AppWorkerThread, ServerApplication
+from repro.apps.memcached import MemcachedApp
+from repro.apps.nginx import NginxApp
+from repro.apps.registry import make_app, APPLICATIONS
+
+__all__ = ["ServerApplication", "AppWorkerThread", "MemcachedApp",
+           "NginxApp", "make_app", "APPLICATIONS"]

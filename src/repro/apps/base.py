@@ -1,0 +1,76 @@
+"""Application base classes."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.cpu.core import PRIORITY_TASK, Work
+from repro.osched.thread import SimThread
+from repro.workload.request import Request
+
+
+def lognormal_cycles(rng, mean_cycles: float, sigma: float) -> float:
+    """Draw service cycles from a lognormal with the given *mean*."""
+    if sigma <= 0:
+        return mean_cycles
+    mu = math.log(mean_cycles) - sigma * sigma / 2.0
+    return math.exp(rng.gauss(mu, sigma))
+
+
+class ServerApplication:
+    """Base application model.
+
+    Attributes:
+        name: application name.
+        slo_ns: the P99 response-time SLO (Sec. 3.1: the inflection point
+            of the latency-load curve — 1 ms memcached, 10 ms nginx).
+        tx_cycles: user-space cost of sending a response (syscall path).
+    """
+
+    name = "app"
+    slo_ns = 0
+    tx_cycles = 1_800.0
+
+    def __init__(self, rng):
+        self.rng = rng
+
+    def make_request(self, flow_id: int, created_ns: int) -> Request:
+        """Build a request with kind/size/service cycles stamped."""
+        raise NotImplementedError
+
+    def request_factory(self):
+        """A ``(flow_id, created_ns) -> Request`` callable for the client."""
+        return self.make_request
+
+
+class AppWorkerThread(SimThread):
+    """One pinned worker: pops its core's socket queue, serves, responds."""
+
+    def __init__(self, app: ServerApplication, core_id: int, socket, stack):
+        super().__init__(f"{app.name}/{core_id}")
+        self.app = app
+        self.core_id = core_id
+        self.socket = socket
+        self.stack = stack
+        socket.consumer = self
+        self.requests_served = 0
+
+    def next_work(self) -> Optional[Work]:
+        packet = self.socket.pop()
+        if packet is None:
+            return None
+        request = packet.request
+        request.delivered_ns = (request.delivered_ns
+                                if request.delivered_ns is not None
+                                else self.scheduler.sim.now)
+        request.started_ns = self.scheduler.sim.now
+        request.core_id = self.core_id
+        cycles = request.service_cycles + self.app.tx_cycles
+        return Work(cycles, PRIORITY_TASK,
+                    on_complete=lambda w, r=request: self._respond(r),
+                    label=f"{self.app.name}.req")
+
+    def _respond(self, request: Request) -> None:
+        self.requests_served += 1
+        self.stack.send_response(request, self.core_id)

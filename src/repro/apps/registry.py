@@ -1,0 +1,24 @@
+"""Name-based application construction."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.apps.memcached import MemcachedApp
+from repro.apps.nginx import NginxApp
+
+#: Applications constructible by name.
+APPLICATIONS: Dict[str, Callable] = {
+    "memcached": MemcachedApp,
+    "nginx": NginxApp,
+}
+
+
+def make_app(name: str, rng, **params):
+    """Instantiate the application ``name``."""
+    try:
+        cls = APPLICATIONS[name]
+    except KeyError:
+        raise ValueError(f"unknown application {name!r}; "
+                         f"known: {sorted(APPLICATIONS)}") from None
+    return cls(rng, **params)

@@ -1,0 +1,32 @@
+"""NMAP: Network packet processing Mode-Aware Power management.
+
+The paper's contribution (Sec. 4). Two flavours:
+
+* :class:`NmapSimplGovernor` — triggers Network Intensive Mode on
+  ksoftirqd wake-ups and falls back when ksoftirqd sleeps (Sec. 4.1).
+* :class:`NmapGovernor` — the full design: a Mode Transition Monitor
+  (Algorithm 1) counts packets per NAPI mode and notifies a Decision
+  Engine (Algorithm 2), which maximizes V/F when polling exceeds NI_TH
+  and returns to the CPU-utilization governor when the polling/interrupt
+  ratio drops below CU_TH (Sec. 4.2).
+
+Thresholds come from the lightweight offline profiler in
+:mod:`repro.core.profiling`.
+"""
+
+from repro.core.monitor import ModeTransitionMonitor
+from repro.core.decision import DecisionEngine, MODE_CPU_UTIL, MODE_NET_INTENSIVE
+from repro.core.nmap import NmapGovernor, NmapThresholds
+from repro.core.nmap_simpl import NmapSimplGovernor
+from repro.core.profiling import (OnlineReprofiler, ThresholdProfiler,
+                                  profile_thresholds)
+from repro.core.adaptive import AdaptiveNmapGovernor
+from repro.core.sleep_integration import ModeAwareIdleGovernor
+
+__all__ = [
+    "ModeTransitionMonitor", "DecisionEngine",
+    "MODE_CPU_UTIL", "MODE_NET_INTENSIVE",
+    "NmapGovernor", "NmapThresholds", "NmapSimplGovernor",
+    "ThresholdProfiler", "OnlineReprofiler", "profile_thresholds",
+    "AdaptiveNmapGovernor", "ModeAwareIdleGovernor",
+]

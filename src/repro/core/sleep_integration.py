@@ -1,0 +1,52 @@
+"""Mode-aware sleep-state control (the paper's Sec. 7 future work).
+
+The paper observes that millisecond-scale SLOs tolerate CC6's ~50 µs
+wake-up, but flags "sophisticated sleep state management integrated with
+DVFS" as future work for tighter SLOs. This extension couples the idle
+policy to NMAP's power-management mode:
+
+* **Network Intensive Mode** — bursts are in flight; idle gaps are short
+  and wake-ups are on the critical path, so cap the sleep depth (CC1).
+* **CPU Utilization based Mode** — the usual predictive menu governor
+  runs, reaching CC6 between bursts.
+
+The result keeps c6only-like savings between bursts while shaving the
+CC6 wake+refill penalty off in-burst gaps.
+"""
+
+from __future__ import annotations
+
+from repro.core.decision import MODE_NET_INTENSIVE
+from repro.cpu.cstate import CState
+from repro.governors.cpuidle import IdleGovernor, MenuIdleGovernor
+
+
+class ModeAwareIdleGovernor(IdleGovernor):
+    """Caps sleep depth while the paired NMAP engine is boosted."""
+
+    name = "nmap-sleep"
+
+    def __init__(self, max_state_in_ni: str = "CC1",
+                 fallback: IdleGovernor = None):
+        self.max_state_in_ni = max_state_in_ni
+        self.fallback = fallback or MenuIdleGovernor()
+        #: Per-core decision engines, registered by the system builder.
+        self.engines = {}
+        self.capped_selections = 0
+
+    def register_engine(self, core_id: int, engine) -> None:
+        """Associate a core's NMAP Decision Engine with this policy."""
+        self.engines[core_id] = engine
+
+    def select(self, core, idle_elapsed_ns: int = 0) -> CState:
+        chosen = self.fallback.select(core, idle_elapsed_ns)
+        engine = self.engines.get(core.core_id)
+        if engine is not None and engine.mode == MODE_NET_INTENSIVE:
+            cap = core.cstates.by_name(self.max_state_in_ni)
+            if chosen.index > cap.index:
+                self.capped_selections += 1
+                return cap
+        return chosen
+
+    def on_idle_end(self, core, idle_duration_ns: int) -> None:
+        self.fallback.on_idle_end(core, idle_duration_ns)

@@ -1,0 +1,23 @@
+"""CPU substrate: P/C-states, execution engine, DVFS, power accounting.
+
+This package models the processor the paper evaluates on (Intel Xeon Gold
+6134: 8 cores, per-core DVFS, 16 P-states from 1.2 to 3.2 GHz) plus the
+three other processors whose transition latencies Tables 1 and 2 report.
+"""
+
+from repro.cpu.pstate import PState, PStateTable
+from repro.cpu.cstate import CState, CStateTable
+from repro.cpu.power import PowerModel, EnergyMeter
+from repro.cpu.core import Core, Work, PRIORITY_HARDIRQ, PRIORITY_SOFTIRQ, PRIORITY_TASK
+from repro.cpu.dvfs import DvfsController, TransitionLatencyModel
+from repro.cpu.profiles import ProcessorProfile, PROCESSOR_PROFILES, XEON_GOLD_6134
+from repro.cpu.topology import Processor
+
+__all__ = [
+    "PState", "PStateTable", "CState", "CStateTable",
+    "PowerModel", "EnergyMeter",
+    "Core", "Work", "PRIORITY_HARDIRQ", "PRIORITY_SOFTIRQ", "PRIORITY_TASK",
+    "DvfsController", "TransitionLatencyModel",
+    "ProcessorProfile", "PROCESSOR_PROFILES", "XEON_GOLD_6134",
+    "Processor",
+]

@@ -1,0 +1,136 @@
+"""Power model and RAPL-style energy accounting.
+
+Power is piecewise-constant between state changes, so energy integrates
+exactly. Per-core power is::
+
+    active:      P_dyn(f, V) = P_active_max * (f * V^2) / (f_max * V_max^2) + P_static
+    idle in CC0: idle_c0_factor * (same curve)   # a polling idle loop
+    CC1 / CC6:   the state's power floor
+
+The constants are synthetic (no RAPL hardware here); every experiment
+reports energy *normalized* to a baseline, as the paper's figures do, so
+only the ratios matter. ``idle_c0_factor`` is calibrated so that disabling
+C-states costs ≈50% extra energy versus the menu governor (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.cpu.cstate import CState
+from repro.cpu.pstate import PState, PStateTable
+from repro.units import S
+
+
+@dataclass
+class PowerModel:
+    """Maps (activity, P-state, C-state) to core power in watts."""
+
+    pstate_table: PStateTable
+    active_power_max_w: float = 10.0
+    static_power_w: float = 0.6
+    idle_c0_factor: float = 0.45
+    #: Uncore frequency scaling (Skylake UFS): the uncore clock follows the
+    #: fastest core's P-state, so package power is high whenever *any* core
+    #: is pinned fast — the main reason the performance governor wastes
+    #: energy even on an idle-ish machine.
+    uncore_max_power_w: float = 22.0
+    uncore_min_power_w: float = 2.8
+
+    def uncore_power(self, fastest_pstate: PState) -> float:
+        """Uncore power when the fastest core sits at ``fastest_pstate``."""
+        p0 = self.pstate_table.p0
+        scale = ((fastest_pstate.freq_hz * fastest_pstate.voltage ** 2)
+                 / (p0.freq_hz * p0.voltage ** 2))
+        return (self.uncore_min_power_w
+                + (self.uncore_max_power_w - self.uncore_min_power_w) * scale)
+
+    def _dynamic(self, pstate: PState) -> float:
+        p0 = self.pstate_table.p0
+        scale = (pstate.freq_hz * pstate.voltage ** 2) / (p0.freq_hz * p0.voltage ** 2)
+        return self.active_power_max_w * scale
+
+    def core_power(self, active: bool, pstate: PState, cstate: CState) -> float:
+        """Power (W) of one core in the given state."""
+        if cstate.index > 0:
+            if cstate.voltage_scaled:
+                vmax = self.pstate_table.p0.voltage
+                return cstate.power_w * (pstate.voltage / vmax) ** 2
+            return cstate.power_w
+        if active:
+            return self._dynamic(pstate) + self.static_power_w
+        # Idle but in CC0: a polling idle loop burns a large fraction of
+        # active power (why C-state `disable` is so expensive, Fig. 8).
+        return self.idle_c0_factor * self._dynamic(pstate) + self.static_power_w
+
+
+class EnergyMeter:
+    """Integrates piecewise-constant power into joules (a RAPL stand-in).
+
+    Call :meth:`set_power` whenever the observed component changes state;
+    energy up to that instant is accumulated at the previous power level.
+    """
+
+    def __init__(self, name: str = "meter", start_time_ns: int = 0):
+        self.name = name
+        self._last_time = int(start_time_ns)
+        self._power_w = 0.0
+        self._energy_j = 0.0
+
+    @property
+    def power_w(self) -> float:
+        """Current power level (W)."""
+        return self._power_w
+
+    def set_power(self, now_ns: int, power_w: float) -> None:
+        """Account energy up to ``now_ns``, then switch to ``power_w``."""
+        self.accrue(now_ns)
+        self._power_w = float(power_w)
+
+    def accrue(self, now_ns: int) -> None:
+        """Integrate energy up to ``now_ns`` at the current power level."""
+        if now_ns < self._last_time:
+            raise ValueError(
+                f"time went backwards: {now_ns} < {self._last_time}")
+        self._energy_j += self._power_w * (now_ns - self._last_time) / S
+        self._last_time = now_ns
+
+    def energy_j(self, now_ns: Optional[int] = None) -> float:
+        """Total joules consumed (optionally integrating up to ``now_ns``)."""
+        if now_ns is not None:
+            self.accrue(now_ns)
+        return self._energy_j
+
+
+class PackageEnergy:
+    """Aggregates per-core meters plus the (P-state-following) uncore."""
+
+    def __init__(self, power_model: PowerModel):
+        self.power_model = power_model
+        self.core_meters: Dict[int, EnergyMeter] = {}
+        self._uncore = EnergyMeter("uncore")
+        self._uncore.set_power(0, power_model.uncore_power(
+            power_model.pstate_table.p0))
+
+    def set_uncore_pstate(self, now_ns: int, fastest_pstate) -> None:
+        """Re-point uncore power at the fastest core's current P-state."""
+        self._uncore.set_power(now_ns,
+                               self.power_model.uncore_power(fastest_pstate))
+
+    def meter_for(self, core_id: int) -> EnergyMeter:
+        """The (lazily created) meter for ``core_id``."""
+        if core_id not in self.core_meters:
+            self.core_meters[core_id] = EnergyMeter(f"core{core_id}")
+        return self.core_meters[core_id]
+
+    def total_energy_j(self, now_ns: int) -> float:
+        """Package energy: all cores + uncore, integrated to ``now_ns``."""
+        total = self._uncore.energy_j(now_ns)
+        for meter in self.core_meters.values():
+            total += meter.energy_j(now_ns)
+        return total
+
+    def cores_energy_j(self, now_ns: int) -> float:
+        """Core-only energy (excludes uncore)."""
+        return sum(m.energy_j(now_ns) for m in self.core_meters.values())

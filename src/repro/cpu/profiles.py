@@ -1,0 +1,114 @@
+"""Processor profiles: the four CPUs measured in Tables 1 and 2.
+
+Each profile bundles a P-state table, the measured re-transition latencies
+(Table 1), the measured C-state wake-up latencies (Table 2), and the cache
+refill penalty after CC6 (Sec. 5.2: 7 µs on E5-2620v4 with 256 KB L2,
+26.4 µs on Gold 6134 with 1 MB L2). The evaluation platform is the Xeon
+Gold 6134 (8 cores, 16 P-states, 1.2–3.2 GHz, per-core DVFS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.cpu.cstate import CStateTable
+from repro.cpu.dvfs import (FULL_DOWN, FULL_UP, SMALL_DOWN_HIGH,
+                            SMALL_DOWN_LOW, SMALL_UP_HIGH, SMALL_UP_LOW,
+                            TransitionLatencyModel)
+from repro.cpu.pstate import PStateTable
+from repro.units import GHZ, US
+
+
+def _us(mean: float, std: float) -> Tuple[float, float]:
+    return mean * US, std * US
+
+
+@dataclass(frozen=True)
+class ProcessorProfile:
+    """Static description of one processor model."""
+
+    name: str
+    n_cores: int
+    freq_min_hz: float
+    freq_max_hz: float
+    n_pstates: int
+    #: Table 1 rows: category -> (mean_ns, std_ns).
+    retransition_ns: Dict[str, Tuple[float, float]]
+    #: Table 2 rows: (mean_ns, std_ns) per state.
+    cc1_wake_ns: Tuple[float, float]
+    cc6_wake_ns: Tuple[float, float]
+    cache_refill_penalty_ns: int
+    per_core_dvfs: bool = True
+
+    def pstate_table(self) -> PStateTable:
+        """Build this processor's P-state table."""
+        return PStateTable.linear(self.freq_min_hz, self.freq_max_hz,
+                                  self.n_pstates)
+
+    def transition_model(self) -> TransitionLatencyModel:
+        """Build this processor's transition-latency model."""
+        return TransitionLatencyModel(n_states=self.n_pstates,
+                                      retransition_ns=dict(self.retransition_ns))
+
+    def cstate_table(self) -> CStateTable:
+        """Build this processor's C-state table from the Table 2 numbers."""
+        cc1_mean, cc1_std = self.cc1_wake_ns
+        cc6_mean, cc6_std = self.cc6_wake_ns
+        return CStateTable.default(
+            cc1_exit_ns=int(cc1_mean), cc1_exit_std_ns=int(cc1_std),
+            cc6_exit_ns=int(cc6_mean), cc6_exit_std_ns=int(cc6_std),
+            cache_refill_penalty_ns=self.cache_refill_penalty_ns)
+
+
+INTEL_I7_6700 = ProcessorProfile(
+    name="Intel i7-6700", n_cores=4,
+    freq_min_hz=0.8 * GHZ, freq_max_hz=3.4 * GHZ, n_pstates=14,
+    retransition_ns={
+        SMALL_DOWN_HIGH: _us(21.0, 2.2), SMALL_UP_HIGH: _us(34.6, 2.2),
+        FULL_DOWN: _us(27.2, 5.5), FULL_UP: _us(45.1, 6.5),
+        SMALL_DOWN_LOW: _us(25.3, 1.4), SMALL_UP_LOW: _us(35.8, 2.2),
+    },
+    cc1_wake_ns=_us(0.35, 0.48), cc6_wake_ns=_us(27.70, 3.00),
+    cache_refill_penalty_ns=7 * US)
+
+INTEL_I7_7700 = ProcessorProfile(
+    name="Intel i7-7700", n_cores=4,
+    freq_min_hz=0.8 * GHZ, freq_max_hz=3.6 * GHZ, n_pstates=15,
+    retransition_ns={
+        SMALL_DOWN_HIGH: _us(21.7, 3.8), SMALL_UP_HIGH: _us(31.3, 2.1),
+        FULL_DOWN: _us(25.9, 3.1), FULL_UP: _us(50.7, 6.6),
+        SMALL_DOWN_LOW: _us(26.3, 2.9), SMALL_UP_LOW: _us(33.8, 2.3),
+    },
+    cc1_wake_ns=_us(0.40, 0.49), cc6_wake_ns=_us(27.56, 4.15),
+    cache_refill_penalty_ns=7 * US)
+
+XEON_E5_2620V4 = ProcessorProfile(
+    name="Intel Xeon E5-2620v4", n_cores=8,
+    freq_min_hz=1.2 * GHZ, freq_max_hz=2.1 * GHZ, n_pstates=10,
+    retransition_ns={
+        SMALL_DOWN_HIGH: _us(516.1, 3.4), SMALL_UP_HIGH: _us(516.2, 3.5),
+        FULL_DOWN: _us(520.9, 5.6), FULL_UP: _us(520.3, 5.9),
+        SMALL_DOWN_LOW: _us(517.2, 4.3), SMALL_UP_LOW: _us(517.2, 4.2),
+    },
+    cc1_wake_ns=_us(0.50, 0.50), cc6_wake_ns=_us(27.25, 4.77),
+    cache_refill_penalty_ns=7 * US)
+
+XEON_GOLD_6134 = ProcessorProfile(
+    name="Intel Xeon Gold 6134", n_cores=8,
+    freq_min_hz=1.2 * GHZ, freq_max_hz=3.2 * GHZ, n_pstates=16,
+    retransition_ns={
+        SMALL_DOWN_HIGH: _us(525.7, 5.7), SMALL_UP_HIGH: _us(525.6, 5.7),
+        FULL_DOWN: _us(528.4, 7.0), FULL_UP: _us(527.3, 7.1),
+        SMALL_DOWN_LOW: _us(526.3, 6.4), SMALL_UP_LOW: _us(526.9, 6.8),
+    },
+    cc1_wake_ns=_us(0.56, 0.50), cc6_wake_ns=_us(27.43, 4.05),
+    cache_refill_penalty_ns=26_400)
+
+#: All measured processors, keyed by short name.
+PROCESSOR_PROFILES: Dict[str, ProcessorProfile] = {
+    "i7-6700": INTEL_I7_6700,
+    "i7-7700": INTEL_I7_7700,
+    "E5-2620v4": XEON_E5_2620V4,
+    "Gold-6134": XEON_GOLD_6134,
+}

@@ -1,0 +1,99 @@
+"""Performance (P) states.
+
+Following ACPI/Intel convention (and the paper), **P0 is the highest**
+frequency and P(n-1) the lowest; the Xeon Gold 6134 testbed exposes 16
+states from 1.2 GHz (P15) to 3.2 GHz (P0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+@dataclass(frozen=True)
+class PState:
+    """One performance state: index 0 is fastest."""
+
+    index: int
+    freq_hz: float
+    voltage: float
+
+    def __post_init__(self) -> None:
+        if self.freq_hz <= 0:
+            raise ValueError(f"P{self.index}: frequency must be positive")
+        if self.voltage <= 0:
+            raise ValueError(f"P{self.index}: voltage must be positive")
+
+
+class PStateTable:
+    """Ordered list of P-states, index 0 = max frequency.
+
+    Frequencies strictly decrease with index (enforced), matching the
+    hardware contract governors rely on.
+    """
+
+    def __init__(self, states: List[PState]):
+        if not states:
+            raise ValueError("P-state table cannot be empty")
+        for i, st in enumerate(states):
+            if st.index != i:
+                raise ValueError(f"state at position {i} has index {st.index}")
+            if i > 0 and st.freq_hz >= states[i - 1].freq_hz:
+                raise ValueError("frequencies must strictly decrease with index")
+        self._states = list(states)
+
+    @classmethod
+    def linear(cls, freq_min_hz: float, freq_max_hz: float, n_states: int,
+               voltage_min: float = 0.70, voltage_max: float = 1.00) -> "PStateTable":
+        """Evenly spaced table; voltage scales linearly with frequency."""
+        if n_states < 2:
+            raise ValueError("need at least two P-states")
+        if freq_min_hz >= freq_max_hz:
+            raise ValueError("freq_min must be below freq_max")
+        states = []
+        for i in range(n_states):
+            frac = i / (n_states - 1)  # 0 at P0 (max) .. 1 at Pmin
+            freq = freq_max_hz - frac * (freq_max_hz - freq_min_hz)
+            volt = voltage_max - frac * (voltage_max - voltage_min)
+            states.append(PState(index=i, freq_hz=freq, voltage=volt))
+        return cls(states)
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __getitem__(self, index: int) -> PState:
+        return self._states[index]
+
+    def __iter__(self) -> Iterator[PState]:
+        return iter(self._states)
+
+    @property
+    def max_index(self) -> int:
+        """Index of the slowest state (Pmin)."""
+        return len(self._states) - 1
+
+    @property
+    def p0(self) -> PState:
+        """The fastest state."""
+        return self._states[0]
+
+    @property
+    def pmin(self) -> PState:
+        """The slowest state."""
+        return self._states[-1]
+
+    def clamp(self, index: int) -> int:
+        """Clamp an arbitrary integer onto a valid state index."""
+        return max(0, min(self.max_index, index))
+
+    def index_for_frequency(self, freq_hz: float) -> int:
+        """Lowest-power state whose frequency is >= ``freq_hz`` (clamped)."""
+        for st in reversed(self._states):
+            if st.freq_hz >= freq_hz:
+                return st.index
+        return 0
+
+    def freq_of(self, index: int) -> float:
+        """Frequency (Hz) of state ``index``."""
+        return self._states[index].freq_hz

@@ -1,0 +1,104 @@
+"""Processor topology: a package of cores with a DVFS domain policy.
+
+Per-core DVFS (the Gold 6134 testbed, and what NMAP targets) lets every
+core settle at its own governor's decision. Chip-wide DVFS (what NCAP
+assumes) resolves all per-core requests to the *highest* requested
+frequency, as Sec. 2.2 describes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cpu.core import Core
+from repro.cpu.cstate import CStateTable
+from repro.cpu.dvfs import DvfsController
+from repro.cpu.power import PackageEnergy, PowerModel
+from repro.cpu.profiles import ProcessorProfile, XEON_GOLD_6134
+from repro.cpu.pstate import PStateTable
+
+PER_CORE = "per-core"
+CHIP_WIDE = "chip-wide"
+
+
+class Processor:
+    """A package of cores sharing a power budget and a DVFS domain policy."""
+
+    def __init__(self, sim, profile: Optional[ProcessorProfile] = None,
+                 n_cores: Optional[int] = None,
+                 dvfs_domain: str = PER_CORE,
+                 power_model: Optional[PowerModel] = None,
+                 rng_streams=None, trace=None,
+                 cache_penalty_fraction: float = 0.5):
+        if dvfs_domain not in (PER_CORE, CHIP_WIDE):
+            raise ValueError(f"unknown DVFS domain {dvfs_domain!r}")
+        self.sim = sim
+        self.profile = profile or XEON_GOLD_6134
+        self.dvfs_domain = dvfs_domain
+        self.pstates: PStateTable = self.profile.pstate_table()
+        self.cstates: CStateTable = self.profile.cstate_table()
+        self.power_model = power_model or PowerModel(self.pstates)
+        self.energy = PackageEnergy(self.power_model)
+        count = n_cores if n_cores is not None else self.profile.n_cores
+        if count < 1:
+            raise ValueError("need at least one core")
+
+        latency_model = self.profile.transition_model()
+        self.cores: List[Core] = []
+        self.dvfs: List[DvfsController] = []
+        for cid in range(count):
+            rng = (rng_streams.stream(f"core{cid}")
+                   if rng_streams is not None else None)
+            core = Core(sim, cid, self.pstates, cstate_table=self.cstates,
+                        power_model=self.power_model,
+                        meter=self.energy.meter_for(cid),
+                        rng=rng, trace=trace,
+                        cache_penalty_fraction=cache_penalty_fraction)
+            self.cores.append(core)
+            self.dvfs.append(DvfsController(sim, core, latency_model, rng=rng))
+        # Per-core requests, used to resolve the chip-wide target.
+        self._requested = [c.pstate_index for c in self.cores]
+        # Uncore frequency scaling: track the fastest core.
+        for core in self.cores:
+            core.pstate_listeners.append(self._on_core_pstate_change)
+
+    def _on_core_pstate_change(self, core) -> None:
+        fastest = min(c.pstate_index for c in self.cores)
+        self.energy.set_uncore_pstate(self.sim.now, self.pstates[fastest])
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.cores)
+
+    def request_pstate(self, core_id: int, index: int) -> None:
+        """Route a governor's P-state request through the DVFS domain.
+
+        Per-core: the request applies to that core only. Chip-wide: the
+        effective target is the fastest (lowest index) of all per-core
+        requests and is applied to every core.
+        """
+        index = self.pstates.clamp(index)
+        self._requested[core_id] = index
+        if self.dvfs_domain == PER_CORE:
+            self.dvfs[core_id].request(index)
+            return
+        target = min(self._requested)
+        for ctrl in self.dvfs:
+            ctrl.request(target)
+
+    def set_all_pstates_now(self, index: int) -> None:
+        """Force every core to ``index`` immediately (test/bootstrap aid)."""
+        index = self.pstates.clamp(index)
+        for cid, core in enumerate(self.cores):
+            self._requested[cid] = index
+            core.set_pstate_index(index)
+            self.dvfs[cid].target_index = index
+
+    def finalize(self) -> None:
+        """Flush all per-core accounting to the current time."""
+        for core in self.cores:
+            core.finalize()
+
+    def total_energy_j(self) -> float:
+        """Package energy (cores + uncore) up to the current time."""
+        return self.energy.total_energy_j(self.sim.now)

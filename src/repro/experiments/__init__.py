@@ -1,0 +1,14 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Each module exposes ``run(scale=QUICK) -> ExperimentResult``; the registry
+maps experiment ids (``fig2`` .. ``fig16``, ``tab1``, ``tab2``) to those
+functions. Results carry printable rows plus the raw series, and
+``EXPERIMENTS.md`` is generated from them (``python -m repro.experiments``).
+"""
+
+from repro.experiments.base import ExperimentResult, ExperimentScale, QUICK, FULL
+from repro.experiments.runner import run_cached, clear_cache
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["ExperimentResult", "ExperimentScale", "QUICK", "FULL",
+           "run_cached", "clear_cache", "EXPERIMENTS", "run_experiment"]

@@ -1,0 +1,79 @@
+"""CLI: run paper experiments and print (or save) their tables.
+
+Usage::
+
+    python -m repro.experiments                 # everything, quick scale
+    python -m repro.experiments fig12 fig13     # a subset
+    python -m repro.experiments --full tab1     # paper-sized run
+    python -m repro.experiments --markdown out.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.base import FULL, QUICK
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Reproduce the NMAP paper's tables and figures.")
+    parser.add_argument("ids", nargs="*", default=[],
+                        help=f"experiment ids (default: all of "
+                             f"{', '.join(EXPERIMENTS)})")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-sized scale (8 cores, longer runs)")
+    parser.add_argument("--markdown", metavar="PATH",
+                        help="also write a markdown report to PATH")
+    args = parser.parse_args(argv)
+
+    ids = args.ids or list(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment ids: {unknown}")
+    scale = FULL if args.full else QUICK
+
+    sections = []
+    all_ok = True
+    for experiment_id in ids:
+        t0 = time.time()
+        result = run_experiment(experiment_id, scale)
+        elapsed = time.time() - t0
+        text = result.render()
+        print(text)
+        print(f"({elapsed:.1f}s)\n")
+        sections.append((result, elapsed))
+        all_ok &= result.all_expectations_met
+
+    if args.markdown:
+        with open(args.markdown, "w") as fh:
+            fh.write(render_markdown(sections, scale.name))
+        print(f"wrote {args.markdown}")
+    return 0 if all_ok else 1
+
+
+def render_markdown(sections, scale_name: str) -> str:
+    """Render experiment results as a markdown report."""
+    lines = ["# NMAP reproduction — experiment results",
+             "",
+             f"Scale: `{scale_name}`. Every table/figure of the paper's "
+             "evaluation, regenerated on the simulated substrate. "
+             "'Shape checks' are the reproduction criteria from DESIGN.md.",
+             ""]
+    for result, elapsed in sections:
+        lines.append(f"## {result.experiment_id}: {result.title}")
+        lines.append("")
+        lines.append("```")
+        lines.append(result.render())
+        lines.append("```")
+        lines.append(f"*({elapsed:.1f}s)*")
+        lines.append("")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""Shared experiment scaffolding."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+from repro.metrics.report import format_table
+from repro.units import MS, S
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """How big to run an experiment.
+
+    ``quick`` simulates 2 of the testbed's 8 cores at identical per-core
+    load over a few burst periods (per-core dynamics are what every
+    mechanism depends on); ``full`` is the paper-sized setup.
+    """
+
+    name: str
+    n_cores: int
+    duration_ns: int
+    seed: int = 1
+
+
+QUICK = ExperimentScale("quick", n_cores=2, duration_ns=300 * MS)
+FULL = ExperimentScale("full", n_cores=8, duration_ns=1 * S)
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment harness.
+
+    Attributes:
+        experiment_id: e.g. ``"fig12"``.
+        title: what the paper artifact shows.
+        headers / rows: the printable table (same rows the paper reports).
+        series: raw data keyed by name (time series, CDFs, ...).
+        expectations: named shape checks, each True/False — the
+            reproduction criteria recorded in EXPERIMENTS.md.
+        notes: free-form commentary (deviations, scale caveats).
+    """
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[Any]]
+    series: Dict[str, Any] = field(default_factory=dict)
+    expectations: Dict[str, bool] = field(default_factory=dict)
+    notes: str = ""
+
+    def render(self) -> str:
+        """The experiment's table plus its expectation checklist."""
+        parts = [format_table(self.headers, self.rows,
+                              title=f"{self.experiment_id}: {self.title}")]
+        if self.expectations:
+            checks = "\n".join(
+                f"  [{'x' if ok else ' '}] {name}"
+                for name, ok in self.expectations.items())
+            parts.append("shape checks:\n" + checks)
+        if self.notes:
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+    @property
+    def all_expectations_met(self) -> bool:
+        return all(self.expectations.values())

@@ -1,0 +1,32 @@
+"""Fig. 10: per-request response latency under NMAP (cf. Fig. 3)."""
+
+from __future__ import annotations
+
+from repro.experiments.base import QUICK, ExperimentResult, ExperimentScale
+from repro.experiments.runner import run_cached
+from repro.system import ServerConfig
+
+
+def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
+    headers = ["app", "p50 (µs)", "p99 (µs)", "max (µs)", "p99/SLO"]
+    rows = []
+    series = {}
+    expectations = {}
+    for app in ("memcached", "nginx"):
+        config = ServerConfig(app=app, load_level="high",
+                              freq_governor="nmap",
+                              n_cores=scale.n_cores, seed=scale.seed)
+        result = run_cached(config, scale.duration_ns)
+        stats = result.latency_stats()
+        slo = result.slo_result()
+        rows.append([app, round(stats.p50_ns / 1e3, 1),
+                     round(stats.p99_ns / 1e3, 1),
+                     round(stats.max_ns / 1e3, 1),
+                     round(slo.normalized_p99, 3)])
+        series[app] = {"completion_times_ns": result.completion_times_ns,
+                       "latencies_ns": result.latencies_ns}
+        expectations[f"{app}: NMAP keeps P99 within the SLO"] = slo.satisfied
+    return ExperimentResult(
+        experiment_id="fig10",
+        title="Per-request response latency with NMAP (high load)",
+        headers=headers, rows=rows, series=series, expectations=expectations)

@@ -1,0 +1,36 @@
+"""Fig. 11: latency CDF under NMAP.
+
+Paper: only 0.92% (memcached) and 0.06% (nginx) of requests exceed the
+SLO under NMAP at high load — i.e. P99 is inside the SLO for both.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import QUICK, ExperimentResult, ExperimentScale
+from repro.experiments.runner import run_cached
+from repro.metrics.latency import cdf_points, fraction_over
+from repro.system import ServerConfig
+
+PAPER_FRACTION_OVER_SLO = {"memcached": 0.92, "nginx": 0.06}
+
+
+def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
+    headers = ["app", "frac > SLO (%)", "paper (%)"]
+    rows = []
+    series = {}
+    expectations = {}
+    for app in ("memcached", "nginx"):
+        config = ServerConfig(app=app, load_level="high",
+                              freq_governor="nmap",
+                              n_cores=scale.n_cores, seed=scale.seed)
+        result = run_cached(config, scale.duration_ns)
+        over = 100 * fraction_over(result.latencies_ns, result.slo_ns)
+        rows.append([app, round(over, 3), PAPER_FRACTION_OVER_SLO[app]])
+        x, y = cdf_points(result.latencies_ns)
+        series[app] = {"latency_ns": x, "cdf": y}
+        expectations[f"{app}: under 1% of requests exceed the SLO"] = \
+            over < 1.0
+    return ExperimentResult(
+        experiment_id="fig11",
+        title="CDF of response latency with NMAP (high load)",
+        headers=headers, rows=rows, series=series, expectations=expectations)

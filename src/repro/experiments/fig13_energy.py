@@ -1,0 +1,72 @@
+"""Fig. 13: energy consumption for the Fig. 12 grid.
+
+Shapes to reproduce (Sec. 6.2): performance burns the most; NMAP cuts
+energy sharply at low load (paper: -35.7% memcached, -30.4% nginx vs
+performance), moderately at medium, and modestly at high (paper: -9.1%
+memcached); c6only is the cheapest sleep policy and disable the dearest.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import QUICK, ExperimentResult, ExperimentScale
+from repro.experiments.grid import (FIG12_GOVERNORS, LOAD_LEVELS,
+                                    SLEEP_POLICIES, baseline_energy,
+                                    run_grid)
+
+#: Paper: NMAP's energy reduction vs the performance governor (percent).
+PAPER_NMAP_SAVINGS = {
+    ("memcached", "low"): 35.7, ("memcached", "medium"): 31.4,
+    ("memcached", "high"): 9.1,
+    ("nginx", "low"): 30.4, ("nginx", "medium"): 31.3,
+    ("nginx", "high"): 28.6,
+}
+
+
+def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
+    results = run_grid(FIG12_GOVERNORS, SLEEP_POLICIES, scale)
+    headers = (["app", "load", "governor"]
+               + [f"E/perf+menu ({s})" for s in SLEEP_POLICIES]
+               + ["paper nmap saving (%)"])
+    rows = []
+    norm = {}
+    for app in ("memcached", "nginx"):
+        for level in LOAD_LEVELS:
+            base = baseline_energy(results, app, level)
+            for governor in FIG12_GOVERNORS:
+                values = []
+                for sleep in SLEEP_POLICIES:
+                    ratio = results[(app, level, governor, sleep)].energy_j \
+                        / base
+                    norm[(app, level, governor, sleep)] = ratio
+                    values.append(round(ratio, 3))
+                paper = (PAPER_NMAP_SAVINGS.get((app, level), "")
+                         if governor == "nmap" else "")
+                rows.append([app, level, governor] + values + [paper])
+
+    def saving(app, level):
+        return 100 * (1 - norm[(app, level, "nmap", "menu")])
+
+    expectations = {
+        "nmap saves energy vs performance at every load": all(
+            saving(a, l) > 0 for a in ("memcached", "nginx")
+            for l in LOAD_LEVELS),
+        "nmap saving is large at low load (>20%)": all(
+            saving(a, "low") > 20 for a in ("memcached", "nginx")),
+        "memcached: nmap saving shrinks with load (low > high)":
+            saving("memcached", "low") > saving("memcached", "high"),
+        "disable costs more than menu (performance gov, high)": all(
+            norm[(a, "high", "performance", "disable")]
+            > norm[(a, "high", "performance", "menu")]
+            for a in ("memcached", "nginx")),
+        "c6only costs less than menu (performance gov, high)": all(
+            norm[(a, "high", "performance", "c6only")]
+            < norm[(a, "high", "performance", "menu")]
+            for a in ("memcached", "nginx")),
+    }
+    return ExperimentResult(
+        experiment_id="fig13",
+        title="Energy normalized to performance+menu "
+              "(governors x sleep policies x loads)",
+        headers=headers, rows=rows,
+        series={"normalized_energy": norm},
+        expectations=expectations)

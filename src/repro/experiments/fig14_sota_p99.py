@@ -1,0 +1,46 @@
+"""Fig. 14: P99 latency vs the state-of-the-art (NCAP), normalized to SLO.
+
+Shapes to reproduce (Sec. 6.3): NCAP and NMAP satisfy the SLO at every
+load; NMAP-simpl fails at high load; NCAP-menu ≈ NCAP (the processor
+rarely sleeps mid-burst, so disabling sleep during the boost changes
+little).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import QUICK, ExperimentResult, ExperimentScale
+from repro.experiments.grid import FIG14_GOVERNORS, LOAD_LEVELS, run_grid
+
+
+def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
+    results = run_grid(FIG14_GOVERNORS, ("menu",), scale)
+    headers = ["app", "load"] + list(FIG14_GOVERNORS)
+    rows = []
+    norm = {}
+    for (app, level, governor, _), result in results.items():
+        norm[(app, level, governor)] = result.slo_result().normalized_p99
+    for app in ("memcached", "nginx"):
+        for level in LOAD_LEVELS:
+            rows.append([app, level] + [
+                round(norm[(app, level, g)], 2) for g in FIG14_GOVERNORS])
+    expectations = {
+        "ncap meets SLO everywhere": all(
+            norm[(a, l, "ncap")] <= 1.0
+            for a in ("memcached", "nginx") for l in LOAD_LEVELS),
+        "nmap meets SLO everywhere": all(
+            norm[(a, l, "nmap")] <= 1.0
+            for a in ("memcached", "nginx") for l in LOAD_LEVELS),
+        "nmap-simpl fails at high load": all(
+            norm[(a, "high", "nmap-simpl")] > 1.0
+            for a in ("memcached", "nginx")),
+        "ncap-menu ~ ncap (within 50%)": all(
+            abs(norm[(a, l, "ncap-menu")] - norm[(a, l, "ncap")])
+            <= 0.5 * max(norm[(a, l, "ncap")], 0.05)
+            for a in ("memcached", "nginx") for l in LOAD_LEVELS),
+    }
+    return ExperimentResult(
+        experiment_id="fig14",
+        title="P99 latency (normalized to SLO) vs NCAP",
+        headers=headers, rows=rows,
+        series={"normalized_p99": norm},
+        expectations=expectations)

@@ -1,0 +1,59 @@
+"""Fig. 15: energy vs the state-of-the-art, normalized to performance+menu.
+
+Shapes to reproduce (Sec. 6.3): NMAP consumes less than NCAP at every
+load (paper: 4.2-9% memcached, 11-14.7% nginx) — NMAP is per-core and
+falls back as soon as the polling ratio decays, while NCAP boosts all
+cores from NIC-aggregate load and decays gradually.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import QUICK, ExperimentResult, ExperimentScale
+from repro.experiments.grid import (FIG14_GOVERNORS, LOAD_LEVELS,
+                                    baseline_energy, run_grid)
+
+#: Paper: NMAP's energy reduction relative to NCAP (percent).
+PAPER_NMAP_VS_NCAP = {
+    ("memcached", "low"): 4.2, ("memcached", "medium"): 8.8,
+    ("memcached", "high"): 9.0,
+    ("nginx", "low"): 12.0, ("nginx", "medium"): 14.7,
+    ("nginx", "high"): 11.0,
+}
+
+
+def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
+    results = run_grid(FIG14_GOVERNORS, ("menu",), scale)
+    perf = run_grid(("performance",), ("menu",), scale)
+    results.update(perf)
+    headers = (["app", "load"] + [f"E({g})" for g in FIG14_GOVERNORS]
+               + ["nmap vs ncap (%)", "paper (%)"])
+    rows = []
+    norm = {}
+    for app in ("memcached", "nginx"):
+        for level in LOAD_LEVELS:
+            base = baseline_energy(results, app, level)
+            for governor in FIG14_GOVERNORS:
+                norm[(app, level, governor)] = \
+                    results[(app, level, governor, "menu")].energy_j / base
+            vs_ncap = 100 * (1 - norm[(app, level, "nmap")]
+                             / norm[(app, level, "ncap")])
+            rows.append([app, level]
+                        + [round(norm[(app, level, g)], 3)
+                           for g in FIG14_GOVERNORS]
+                        + [round(vs_ncap, 1),
+                           PAPER_NMAP_VS_NCAP[(app, level)]])
+    expectations = {
+        "nmap uses less energy than ncap at every load": all(
+            norm[(a, l, "nmap")] < norm[(a, l, "ncap")]
+            for a in ("memcached", "nginx") for l in LOAD_LEVELS),
+        "ncap-menu ~ ncap energy (within 10%)": all(
+            abs(norm[(a, l, "ncap-menu")] - norm[(a, l, "ncap")])
+            < 0.10 * norm[(a, l, "ncap")]
+            for a in ("memcached", "nginx") for l in LOAD_LEVELS),
+    }
+    return ExperimentResult(
+        experiment_id="fig15",
+        title="Energy (normalized to performance+menu) vs NCAP",
+        headers=headers, rows=rows,
+        series={"normalized_energy": norm},
+        expectations=expectations)

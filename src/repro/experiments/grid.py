@@ -1,0 +1,56 @@
+"""The Figs. 12-15 evaluation grid, shared between the four experiments.
+
+Figs. 12/13 sweep {intel_powersave, ondemand, performance, NMAP-simpl,
+NMAP} x {menu, disable, c6only} x {low, medium, high} x {memcached,
+nginx}; Figs. 14/15 sweep {NCAP-menu, NCAP, NMAP-simpl, NMAP} with menu.
+Latency and energy come from the same runs, so the grid is computed once
+per process (the runner memoizes by configuration).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.experiments.base import ExperimentScale
+from repro.experiments.runner import run_cached
+from repro.system import RunResult, ServerConfig
+
+FIG12_GOVERNORS = ("intel_powersave", "ondemand", "performance",
+                   "nmap-simpl", "nmap")
+FIG14_GOVERNORS = ("ncap-menu", "ncap", "nmap-simpl", "nmap")
+SLEEP_POLICIES = ("menu", "disable", "c6only")
+LOAD_LEVELS = ("low", "medium", "high")
+APPS = ("memcached", "nginx")
+
+GridKey = Tuple[str, str, str, str]  # (app, level, governor, sleep)
+
+
+def run_cell(app: str, level: str, governor: str, sleep: str,
+             scale: ExperimentScale) -> RunResult:
+    """Run (or fetch) one grid cell."""
+    config = ServerConfig(app=app, load_level=level, freq_governor=governor,
+                          idle_governor=sleep, n_cores=scale.n_cores,
+                          seed=scale.seed)
+    return run_cached(config, scale.duration_ns)
+
+
+def run_grid(governors, sleeps, scale: ExperimentScale,
+             apps=APPS, levels=LOAD_LEVELS) -> Dict[GridKey, RunResult]:
+    """Run every (app, level, governor, sleep) combination."""
+    results: Dict[GridKey, RunResult] = {}
+    for app in apps:
+        for level in levels:
+            for governor in governors:
+                for sleep in sleeps:
+                    results[(app, level, governor, sleep)] = run_cell(
+                        app, level, governor, sleep, scale)
+    return results
+
+
+def baseline_energy(results: Dict[GridKey, RunResult], app: str,
+                    level: str) -> float:
+    """Energy of performance+menu (the figures' normalization baseline)."""
+    key = (app, level, "performance", "menu")
+    if key not in results:
+        raise KeyError(f"grid is missing the baseline cell {key}")
+    return results[key].energy_j

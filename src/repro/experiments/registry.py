@@ -1,0 +1,52 @@
+"""Experiment registry: id -> harness."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.experiments import (fig02_mode_transitions, fig03_response_latency,
+                               fig04_latency_cdf, fig07_cc6_entries,
+                               fig08_sleep_policies, fig09_nmap_trace,
+                               fig10_nmap_latency, fig11_nmap_cdf,
+                               fig12_p99, fig13_energy, fig14_sota_p99,
+                               fig15_sota_energy, fig16_changing_load,
+                               imbalance, robustness,
+                               slo_calibration, tab01_retransition,
+                               tab02_wakeup)
+from repro.experiments.base import QUICK, ExperimentResult, ExperimentScale
+
+#: All paper artifacts, in paper order.
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig2": fig02_mode_transitions.run,
+    "fig3": fig03_response_latency.run,
+    "fig4": fig04_latency_cdf.run,
+    "tab1": tab01_retransition.run,
+    "tab2": tab02_wakeup.run,
+    "fig7": fig07_cc6_entries.run,
+    "fig8": fig08_sleep_policies.run,
+    "fig9": fig09_nmap_trace.run,
+    "fig10": fig10_nmap_latency.run,
+    "fig11": fig11_nmap_cdf.run,
+    "fig12": fig12_p99.run,
+    "fig13": fig13_energy.run,
+    "fig14": fig14_sota_p99.run,
+    "fig15": fig15_sota_energy.run,
+    "fig16": fig16_changing_load.run,
+    # The SLO-setting procedure behind Sec. 3.1 (not a numbered artifact).
+    "slo": slo_calibration.run,
+    # Seed-sweep of the headline orderings (reproduction hygiene).
+    "robustness": robustness.run,
+    # Per-core vs chip-wide advantage under skewed RSS (Sec. 6.3 claim).
+    "imbalance": imbalance.run,
+}
+
+
+def run_experiment(experiment_id: str,
+                   scale: ExperimentScale = QUICK) -> ExperimentResult:
+    """Run one paper artifact's harness by id."""
+    try:
+        harness = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ValueError(f"unknown experiment {experiment_id!r}; "
+                         f"known: {list(EXPERIMENTS)}") from None
+    return harness(scale)

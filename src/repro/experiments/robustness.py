@@ -1,0 +1,60 @@
+"""Seed robustness: do the headline orderings survive workload randomness?
+
+Repeats the critical Fig. 12/13 cells (memcached high load) across
+several client/service seeds and checks that every ordering the
+reproduction claims holds in *every* replicate — not just for the default
+seed. This is the statistical-hygiene experiment the paper's single-run
+figures do not include.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.base import QUICK, ExperimentResult, ExperimentScale
+from repro.experiments.runner import run_cached
+from repro.system import ServerConfig
+
+SEEDS = (1, 2, 3)
+GOVERNORS = ("performance", "ondemand", "nmap")
+
+
+def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
+    headers = ["seed", "governor", "p99/SLO", "energy (J)"]
+    rows = []
+    norm = {}
+    energy = {}
+    for seed in SEEDS:
+        for governor in GOVERNORS:
+            config = ServerConfig(app="memcached", load_level="high",
+                                  freq_governor=governor,
+                                  n_cores=scale.n_cores, seed=seed)
+            result = run_cached(config, scale.duration_ns)
+            norm[(seed, governor)] = result.slo_result().normalized_p99
+            energy[(seed, governor)] = result.energy_j
+            rows.append([seed, governor,
+                         round(norm[(seed, governor)], 2),
+                         round(energy[(seed, governor)], 3)])
+    expectations = {
+        "performance meets SLO in every replicate": all(
+            norm[(s, "performance")] <= 1.0 for s in SEEDS),
+        "nmap meets SLO in every replicate": all(
+            norm[(s, "nmap")] <= 1.0 for s in SEEDS),
+        "ondemand violates SLO in every replicate": all(
+            norm[(s, "ondemand")] > 1.0 for s in SEEDS),
+        "nmap saves energy vs performance in every replicate": all(
+            energy[(s, "nmap")] < energy[(s, "performance")]
+            for s in SEEDS),
+        "energy varies <10% across seeds (per governor)": all(
+            np.std([energy[(s, g)] for s in SEEDS])
+            < 0.10 * np.mean([energy[(s, g)] for s in SEEDS])
+            for g in GOVERNORS),
+    }
+    return ExperimentResult(
+        experiment_id="robustness",
+        title="Seed robustness of the headline orderings "
+              "(memcached, high load)",
+        headers=headers, rows=rows,
+        series={"normalized_p99": norm, "energy_j": energy},
+        expectations=expectations,
+        notes=f"{len(SEEDS)} replicates; orderings must hold in each.")

@@ -1,0 +1,35 @@
+"""Cached run execution shared by all experiments.
+
+Figs. 12/13 (and 14/15) report latency and energy of the *same* runs, so
+the runner memoizes results by configuration within the process — the
+energy figure reuses the latency figure's simulations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.system import RunResult, ServerConfig, ServerSystem
+
+_cache: Dict[Tuple[str, int], RunResult] = {}
+
+
+def _key(config: ServerConfig, duration_ns: int) -> Tuple[str, int]:
+    return repr(config), int(duration_ns)
+
+
+def run_cached(config: ServerConfig, duration_ns: int) -> RunResult:
+    """Run (or fetch the memoized result of) one server configuration."""
+    key = _key(config, duration_ns)
+    if key not in _cache:
+        _cache[key] = ServerSystem(config).run(duration_ns)
+    return _cache[key]
+
+
+def clear_cache() -> None:
+    """Drop all memoized runs (tests use this for isolation)."""
+    _cache.clear()
+
+
+def cache_size() -> int:
+    return len(_cache)

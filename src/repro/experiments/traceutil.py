@@ -1,0 +1,66 @@
+"""Helpers for the trace-based figures (2, 7, 9, 16)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.metrics.timeseries import bin_counts, bin_last_value
+from repro.system import RunResult
+from repro.units import MS
+
+
+def mode_series(result: RunResult, core_id: int,
+                bin_ns: int = 1 * MS) -> Dict[str, np.ndarray]:
+    """Per-bin packets processed in interrupt and polling mode for a core."""
+    trace = result.trace
+    out: Dict[str, np.ndarray] = {}
+    for mode in ("interrupt", "polling"):
+        channel = f"core{core_id}.pkts_{mode}"
+        times = trace.times(channel)
+        weights = trace.values(channel)
+        bins, sums = bin_counts(times, result.duration_ns, bin_ns,
+                                weights=weights if weights.size else None)
+        out["bins"] = bins
+        out[mode] = sums
+    return out
+
+
+def pstate_series(result: RunResult, core_id: int,
+                  bin_ns: int = 1 * MS) -> np.ndarray:
+    """P-state index sampled per bin (initial state is P0)."""
+    trace = result.trace
+    channel = f"core{core_id}.pstate"
+    _, values = bin_last_value(trace.times(channel), trace.values(channel),
+                               result.duration_ns, bin_ns, initial=0.0)
+    return values
+
+
+def ksoftirqd_wake_times(result: RunResult, core_id: int) -> np.ndarray:
+    """Times at which the core's ksoftirqd woke."""
+    return result.trace.times(f"core{core_id}.ksoftirqd_wake")
+
+
+def boost_delays_ms(result: RunResult, core_id: int,
+                    period_ns: int) -> List[Optional[float]]:
+    """Per burst period: ms from burst start until the core reached P0.
+
+    None when the core never reached P0 within that period. The first
+    period is skipped when the run starts at P0 (every governor's initial
+    state), since a pre-existing P0 is not a reaction.
+    """
+    trace = result.trace
+    channel = f"core{core_id}.pstate"
+    times = trace.times(channel)
+    values = trace.values(channel)
+    n_periods = result.duration_ns // period_ns
+    delays: List[Optional[float]] = []
+    for k in range(1, int(n_periods)):
+        start, end = k * period_ns, (k + 1) * period_ns
+        mask = (times >= start) & (times < end) & (values == 0)
+        if mask.any():
+            delays.append(float((times[mask][0] - start) / MS))
+        else:
+            delays.append(None)
+    return delays

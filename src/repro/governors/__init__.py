@@ -1,0 +1,32 @@
+"""Linux power-management governors (frequency and idle).
+
+Frequency governors (cpufreq/intel_pstate equivalents, Sec. 2.2):
+``performance``, ``powersave``, ``userspace``, ``ondemand``,
+``conservative``, and ``intel_powersave`` (CPU utilization measured as C0
+residency, which pins P0 when C-states are disabled — the footnote the
+paper relies on in Sec. 6.2).
+
+Idle (cpuidle) policies: ``menu`` (predictive), ``disable`` (never sleep),
+``c6only`` (always the deepest state) — the three sleep policies of
+Sec. 5.2 / Fig. 8.
+"""
+
+from repro.governors.base import FreqGovernor, UtilGovernorBase
+from repro.governors.static import (PerformanceGovernor, PowersaveGovernor,
+                                    UserspaceGovernor)
+from repro.governors.ondemand import OndemandGovernor
+from repro.governors.conservative import ConservativeGovernor
+from repro.governors.intel_pstate import IntelPowersaveGovernor
+from repro.governors.cpuidle import (MenuIdleGovernor, DisableIdleGovernor,
+                                     C6OnlyIdleGovernor)
+from repro.governors.registry import (FREQ_GOVERNORS, IDLE_GOVERNORS,
+                                      make_freq_governor, make_idle_governor)
+
+__all__ = [
+    "FreqGovernor", "UtilGovernorBase",
+    "PerformanceGovernor", "PowersaveGovernor", "UserspaceGovernor",
+    "OndemandGovernor", "ConservativeGovernor", "IntelPowersaveGovernor",
+    "MenuIdleGovernor", "DisableIdleGovernor", "C6OnlyIdleGovernor",
+    "FREQ_GOVERNORS", "IDLE_GOVERNORS",
+    "make_freq_governor", "make_idle_governor",
+]

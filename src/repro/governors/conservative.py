@@ -1,0 +1,39 @@
+"""The conservative governor: gradual neighbouring-state steps.
+
+Unlike ondemand's jump-to-max, conservative moves the V/F state by a fixed
+step toward its target (Sec. 2.2: "gradually adjusts the next V/F state by
+transitioning to a value near the current V/F state").
+"""
+
+from __future__ import annotations
+
+from repro.governors.base import UtilGovernorBase
+from repro.units import MS
+
+
+class ConservativeGovernor(UtilGovernorBase):
+    """Step-up/step-down utilization governor."""
+
+    name = "conservative"
+
+    def __init__(self, sim, processor, core_id: int,
+                 sampling_period_ns: int = 10 * MS,
+                 up_threshold: float = 0.80,
+                 down_threshold: float = 0.20,
+                 step: int = 1):
+        super().__init__(sim, processor, core_id, sampling_period_ns)
+        if not 0.0 <= down_threshold < up_threshold <= 1.0:
+            raise ValueError("need 0 <= down_threshold < up_threshold <= 1")
+        if step < 1:
+            raise ValueError("step must be >= 1")
+        self.up_threshold = up_threshold
+        self.down_threshold = down_threshold
+        self.step = step
+
+    def decide(self, utilization: float) -> int:
+        current = self.core.pstate_index
+        if utilization > self.up_threshold:
+            return self.processor.pstates.clamp(current - self.step)
+        if utilization < self.down_threshold:
+            return self.processor.pstates.clamp(current + self.step)
+        return current

@@ -1,0 +1,92 @@
+"""cpuidle policies: menu, disable, c6only (the Sec. 5.2 / Fig. 8 trio).
+
+An idle governor is consulted by :class:`repro.cpu.core.Core` when the
+core runs out of work (``select``) and informed of the actual idle
+duration on wake (``on_idle_end``). A single instance serves all cores,
+keeping per-core prediction state internally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.cpu.cstate import CState
+from repro.units import US
+
+
+class IdleGovernor:
+    """Base idle governor."""
+
+    name = "base"
+
+    def select(self, core, idle_elapsed_ns: int = 0) -> CState:
+        """Choose the C-state for a core entering (or deep into) idle.
+
+        ``idle_elapsed_ns`` is non-zero on tick-driven re-selection: the
+        core has already been idle that long, so the prediction may deepen.
+        """
+        raise NotImplementedError
+
+    def on_idle_end(self, core, idle_duration_ns: int) -> None:
+        """Observe the idle period that just ended (for predictors)."""
+
+
+class DisableIdleGovernor(IdleGovernor):
+    """C-states disabled: the core never leaves CC0 (polling idle)."""
+
+    name = "disable"
+
+    def select(self, core, idle_elapsed_ns: int = 0) -> CState:
+        return core.cstates.cc0
+
+
+class C6OnlyIdleGovernor(IdleGovernor):
+    """Always enter the deepest state on idle (Sec. 5.2's ``c6only``)."""
+
+    name = "c6only"
+
+    def select(self, core, idle_elapsed_ns: int = 0) -> CState:
+        return core.cstates.deepest
+
+
+class MenuIdleGovernor(IdleGovernor):
+    """Simplified Linux menu governor: EWMA idle prediction.
+
+    Predicts the next idle interval as an exponentially weighted moving
+    average of recent intervals (weight ``alpha``) scaled by a
+    ``correction`` factor (the real menu governor's load correction), then
+    picks the deepest state whose target residency fits.
+    """
+
+    name = "menu"
+
+    def __init__(self, alpha: float = 0.3, correction: float = 0.8,
+                 initial_prediction_ns: int = 500 * US):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if correction <= 0:
+            raise ValueError("correction must be positive")
+        self.alpha = alpha
+        self.correction = correction
+        self.initial_prediction_ns = initial_prediction_ns
+        self._predicted: Dict[int, float] = {}
+        self.selections: Dict[str, int] = {}
+
+    def predicted_idle_ns(self, core_id: int) -> float:
+        """Current idle-duration prediction for a core."""
+        return self._predicted.get(core_id, float(self.initial_prediction_ns))
+
+    def select(self, core, idle_elapsed_ns: int = 0) -> CState:
+        predicted = self.predicted_idle_ns(core.core_id) * self.correction
+        if idle_elapsed_ns > predicted:
+            # The idle already outlived the prediction (tick re-selection):
+            # expect at least as much again.
+            predicted = idle_elapsed_ns * 1.5
+        chosen = core.cstates.deepest_within(int(predicted))
+        self.selections[chosen.name] = self.selections.get(chosen.name, 0) + 1
+        return chosen
+
+    def on_idle_end(self, core, idle_duration_ns: int) -> None:
+        prev = self.predicted_idle_ns(core.core_id)
+        self._predicted[core.core_id] = (
+            (1 - self.alpha) * prev + self.alpha * idle_duration_ns)

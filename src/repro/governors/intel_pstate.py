@@ -1,0 +1,37 @@
+"""intel_pstate's powersave governor.
+
+Behaves like a utilization-proportional governor, but measures utilization
+as **C0 residency** rather than busy time (Sec. 6.2's observation: with
+C-states disabled the core never leaves C0, utilization reads 100%, and
+the governor pins P0 — making ``intel_powersave + disable`` an accidental
+performance governor).
+"""
+
+from __future__ import annotations
+
+from repro.governors.base import UtilGovernorBase
+from repro.units import MS
+
+
+class IntelPowersaveGovernor(UtilGovernorBase):
+    """C0-residency-based proportional governor."""
+
+    name = "intel_powersave"
+
+    def __init__(self, sim, processor, core_id: int,
+                 sampling_period_ns: int = 10 * MS,
+                 setpoint: float = 0.97):
+        super().__init__(sim, processor, core_id, sampling_period_ns)
+        if not 0.0 < setpoint <= 1.0:
+            raise ValueError("setpoint must be in (0, 1]")
+        self.setpoint = setpoint
+
+    def _busy_metric_ns(self) -> int:
+        return self.core.c0_residency_ns
+
+    def decide(self, utilization: float) -> int:
+        table = self.processor.pstates
+        if utilization >= self.setpoint:
+            return 0
+        target_freq = table.p0.freq_hz * utilization / self.setpoint
+        return table.index_for_frequency(target_freq)

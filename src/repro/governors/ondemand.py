@@ -1,0 +1,38 @@
+"""The ondemand governor (classic kernel algorithm).
+
+Every sampling period (10 ms here, as in Sec. 6.1): if utilization exceeds
+``up_threshold`` jump straight to P0; otherwise request the lowest
+frequency that still keeps utilization below the threshold
+(``f_target = f_current * util / up_threshold``), rounded up to an
+available state. The 10 ms period versus ~100 µs burst onset is the
+mismatch Sec. 3.2 blames for SLO violations.
+"""
+
+from __future__ import annotations
+
+from repro.governors.base import UtilGovernorBase
+from repro.units import MS
+
+
+class OndemandGovernor(UtilGovernorBase):
+    """CPU-utilization governor with jump-to-max above a threshold."""
+
+    name = "ondemand"
+
+    def __init__(self, sim, processor, core_id: int,
+                 sampling_period_ns: int = 10 * MS,
+                 up_threshold: float = 0.95):
+        super().__init__(sim, processor, core_id, sampling_period_ns)
+        if not 0.0 < up_threshold <= 1.0:
+            raise ValueError("up_threshold must be in (0, 1]")
+        self.up_threshold = up_threshold
+
+    def decide(self, utilization: float) -> int:
+        table = self.processor.pstates
+        if utilization >= self.up_threshold:
+            return 0
+        # Kernel rule: freq_next = f_min + load * (f_max - f_min), rounded
+        # up to an available state.
+        f_min, f_max = table.pmin.freq_hz, table.p0.freq_hz
+        target_freq = f_min + utilization * (f_max - f_min)
+        return table.index_for_frequency(target_freq)

@@ -1,0 +1,50 @@
+"""Name-based governor construction (mirrors scaling_governor sysfs names)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.governors.conservative import ConservativeGovernor
+from repro.governors.cpuidle import (C6OnlyIdleGovernor, DisableIdleGovernor,
+                                     IdleGovernor, MenuIdleGovernor)
+from repro.governors.intel_pstate import IntelPowersaveGovernor
+from repro.governors.ondemand import OndemandGovernor
+from repro.governors.static import (PerformanceGovernor, PowersaveGovernor,
+                                    UserspaceGovernor)
+
+#: Frequency governors constructible by name.
+FREQ_GOVERNORS: Dict[str, Callable] = {
+    "performance": PerformanceGovernor,
+    "powersave": PowersaveGovernor,
+    "userspace": UserspaceGovernor,
+    "ondemand": OndemandGovernor,
+    "conservative": ConservativeGovernor,
+    "intel_powersave": IntelPowersaveGovernor,
+}
+
+#: Idle governors constructible by name.
+IDLE_GOVERNORS: Dict[str, Callable] = {
+    "menu": MenuIdleGovernor,
+    "disable": DisableIdleGovernor,
+    "c6only": C6OnlyIdleGovernor,
+}
+
+
+def make_freq_governor(name: str, sim, processor, core_id: int, **params):
+    """Instantiate the frequency governor ``name`` for one core."""
+    try:
+        cls = FREQ_GOVERNORS[name]
+    except KeyError:
+        raise ValueError(f"unknown frequency governor {name!r}; "
+                         f"known: {sorted(FREQ_GOVERNORS)}") from None
+    return cls(sim, processor, core_id, **params)
+
+
+def make_idle_governor(name: str, **params) -> IdleGovernor:
+    """Instantiate the idle governor ``name`` (shared across cores)."""
+    try:
+        cls = IDLE_GOVERNORS[name]
+    except KeyError:
+        raise ValueError(f"unknown idle governor {name!r}; "
+                         f"known: {sorted(IDLE_GOVERNORS)}") from None
+    return cls(**params)

@@ -1,0 +1,45 @@
+"""Static cpufreq governors: performance, powersave, userspace."""
+
+from __future__ import annotations
+
+from repro.governors.base import FreqGovernor
+
+
+class PerformanceGovernor(FreqGovernor):
+    """Pins the core at P0 (maximum V/F)."""
+
+    name = "performance"
+
+    def start(self) -> None:
+        super().start()
+        self.request(0)
+
+
+class PowersaveGovernor(FreqGovernor):
+    """Pins the core at Pmin (minimum V/F)."""
+
+    name = "powersave"
+
+    def start(self) -> None:
+        super().start()
+        self.request(self.processor.pstates.max_index)
+
+
+class UserspaceGovernor(FreqGovernor):
+    """Pins the core at a user-specified P-state."""
+
+    name = "userspace"
+
+    def __init__(self, sim, processor, core_id: int, pstate_index: int = 0):
+        super().__init__(sim, processor, core_id)
+        self.pstate_index = processor.pstates.clamp(pstate_index)
+
+    def start(self) -> None:
+        super().start()
+        self.request(self.pstate_index)
+
+    def set_pstate(self, index: int) -> None:
+        """Change the pinned state at runtime."""
+        self.pstate_index = self.processor.pstates.clamp(index)
+        if self.started:
+            self.request(self.pstate_index)

@@ -1,0 +1,64 @@
+"""Terminal-friendly plotting: sparklines and step plots.
+
+No plotting libraries are assumed; experiments and examples render their
+series as compact ASCII/Unicode-free figures that survive CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+#: Density ramp used by :func:`sparkline` (space = minimum).
+BARS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], lo: Optional[float] = None,
+              hi: Optional[float] = None) -> str:
+    """One character per value, scaled into the density ramp."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return ""
+    lo = float(arr.min()) if lo is None else lo
+    hi = float(arr.max()) if hi is None else hi
+    if hi <= lo:
+        return BARS[0] * arr.size
+    idx = np.clip(((arr - lo) / (hi - lo) * (len(BARS) - 1)).astype(int),
+                  0, len(BARS) - 1)
+    return "".join(BARS[i] for i in idx)
+
+
+def step_plot(values: Sequence[float], height: int = 8,
+              label: str = "") -> str:
+    """A multi-line block plot of a series (rows = value bands)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return label
+    if height < 2:
+        raise ValueError("height must be at least 2")
+    lo, hi = float(arr.min()), float(arr.max())
+    span = hi - lo or 1.0
+    levels = np.clip(((arr - lo) / span * (height - 1)).astype(int),
+                     0, height - 1)
+    lines = []
+    for row in range(height - 1, -1, -1):
+        line = "".join("#" if lvl >= row else " " for lvl in levels)
+        lines.append(line)
+    header = f"{label} [{lo:.3g} .. {hi:.3g}]" if label else \
+        f"[{lo:.3g} .. {hi:.3g}]"
+    return "\n".join([header] + lines)
+
+
+def mark_plot(times: Sequence[float], horizon: float, width: int = 100,
+              mark: str = "^") -> str:
+    """Point events on a fixed-width timeline (ksoftirqd wakes etc.)."""
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    if width <= 0:
+        raise ValueError("width must be positive")
+    cells = [" "] * width
+    for t in np.asarray(times, dtype=float):
+        if 0 <= t < horizon:
+            cells[int(t / horizon * width)] = mark
+    return "".join(cells)

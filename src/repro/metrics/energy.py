@@ -1,0 +1,40 @@
+"""Energy aggregation and normalization (how Figs. 13/15 report energy)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+
+@dataclass(frozen=True)
+class EnergySummary:
+    """Energy of one run."""
+
+    package_j: float
+    cores_j: float
+    duration_s: float
+
+    @property
+    def uncore_j(self) -> float:
+        return self.package_j - self.cores_j
+
+    @property
+    def average_power_w(self) -> float:
+        if self.duration_s <= 0:
+            raise ValueError("duration must be positive")
+        return self.package_j / self.duration_s
+
+    def describe(self) -> str:
+        return (f"package={self.package_j:.2f}J cores={self.cores_j:.2f}J "
+                f"avg={self.average_power_w:.1f}W over {self.duration_s:.3f}s")
+
+
+def normalize_energy(energies_j: Mapping[str, float],
+                     baseline: str) -> Dict[str, float]:
+    """Energy per configuration divided by the baseline's energy."""
+    if baseline not in energies_j:
+        raise KeyError(f"baseline {baseline!r} not among {sorted(energies_j)}")
+    base = energies_j[baseline]
+    if base <= 0:
+        raise ValueError("baseline energy must be positive")
+    return {name: value / base for name, value in energies_j.items()}

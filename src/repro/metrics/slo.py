@@ -1,0 +1,60 @@
+"""SLO checking and latency-load-curve analysis.
+
+The paper defines the SLO as the P99 response time at the inflection
+point of the latency-load curve (1 ms memcached, 10 ms nginx).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.metrics.latency import fraction_over, percentile_ns
+
+
+@dataclass(frozen=True)
+class SloResult:
+    """SLO verdict for one run."""
+
+    slo_ns: float
+    p99_ns: float
+    violation_fraction: float
+
+    @property
+    def satisfied(self) -> bool:
+        """True when P99 <= SLO (the paper's criterion)."""
+        return self.p99_ns <= self.slo_ns
+
+    @property
+    def normalized_p99(self) -> float:
+        """P99 / SLO — how Figs. 12/14 report latency."""
+        return self.p99_ns / self.slo_ns
+
+
+def check_slo(latencies_ns: np.ndarray, slo_ns: float) -> SloResult:
+    """Evaluate the P99-vs-SLO verdict for a latency sample."""
+    if slo_ns <= 0:
+        raise ValueError("SLO must be positive")
+    return SloResult(slo_ns=float(slo_ns),
+                     p99_ns=percentile_ns(latencies_ns, 99),
+                     violation_fraction=fraction_over(latencies_ns, slo_ns))
+
+
+def find_inflection_load(loads: Sequence[float], p99s_ns: Sequence[float],
+                         knee_factor: float = 2.0) -> float:
+    """Pick the inflection point of a latency-load curve.
+
+    Returns the largest load whose P99 stays within ``knee_factor`` times
+    the minimum observed P99 — a simple, robust knee heuristic matching
+    how prior work picks the SLO-setting load.
+    """
+    if len(loads) != len(p99s_ns) or len(loads) < 2:
+        raise ValueError("need matching load/latency sequences (>= 2 points)")
+    order = np.argsort(loads)
+    loads_sorted = np.asarray(loads, dtype=float)[order]
+    p99_sorted = np.asarray(p99s_ns, dtype=float)[order]
+    floor = p99_sorted.min()
+    within = loads_sorted[p99_sorted <= knee_factor * floor]
+    return float(within.max()) if within.size else float(loads_sorted[0])

@@ -1,0 +1,18 @@
+"""Linux network-stack substrate: NAPI, softirq, ksoftirqd, sockets.
+
+Implements the packet-processing machinery of Fig. 1: the NIC raises an
+interrupt, the hardirq handler schedules the NET_RX softirq, and the NAPI
+poll loop processes Rx packets and Tx completions in budgeted batches with
+interrupts masked. A session that keeps finding work past its budgets is
+deferred to ksoftirqd (a task-priority thread), and a drained session
+re-enables the interrupt — these transitions between *interrupt* and
+*polling* modes are exactly what NMAP monitors.
+"""
+
+from repro.netstack.napi import NapiConfig, NapiContext, MODE_INTERRUPT, MODE_POLLING
+from repro.netstack.ksoftirqd import KsoftirqdThread
+from repro.netstack.socket import SocketQueue
+from repro.netstack.stack import NetworkStack, StackConfig
+
+__all__ = ["NapiConfig", "NapiContext", "MODE_INTERRUPT", "MODE_POLLING",
+           "KsoftirqdThread", "SocketQueue", "NetworkStack", "StackConfig"]

@@ -1,0 +1,37 @@
+"""ksoftirqd: the per-core deferred-softirq thread.
+
+Runs at the same priority as application threads (Sec. 2.1), pulling NAPI
+poll batches from any of its core's deferred contexts until they drain.
+Its wake/sleep transitions are the entire signal NMAP-simpl uses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cpu.core import Work
+from repro.netstack.napi import NapiContext
+from repro.osched.thread import SimThread
+
+
+class KsoftirqdThread(SimThread):
+    """The ksoftirqd/<cpu> kernel thread of one core."""
+
+    def __init__(self, core_id: int):
+        super().__init__(f"ksoftirqd/{core_id}")
+        self.core_id = core_id
+        self.napis: List[NapiContext] = []
+        self.batches_run = 0
+
+    def attach_napi(self, napi: NapiContext) -> None:
+        """Register a NAPI context whose deferred work this thread runs."""
+        self.napis.append(napi)
+        napi.ksoftirqd = self
+
+    def next_work(self) -> Optional[Work]:
+        for napi in self.napis:
+            work = napi.make_deferred_work()
+            if work is not None:
+                self.batches_run += 1
+                return work
+        return None

@@ -1,0 +1,54 @@
+"""Per-core socket receive queues.
+
+The softirq handler delivers Rx packets into the socket queue of the
+application worker pinned to the same core (the paper's setup: one
+memcached/nginx thread per core, RSS steering each flow to its core).
+Delivery wakes the worker if it is sleeping.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.nic.packet import Packet
+
+
+class SocketQueue:
+    """Bounded FIFO between softirq delivery and an application thread."""
+
+    def __init__(self, core_id: int, capacity: int = 65536):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.core_id = core_id
+        self.capacity = capacity
+        self._queue: Deque[Packet] = deque()
+        #: The application thread to wake on delivery (set by the app).
+        self.consumer = None
+        self.delivered = 0
+        self.dropped = 0
+        self.max_depth = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def deliver(self, packet: Packet) -> bool:
+        """Softirq-side enqueue; wakes the consumer. False if dropped."""
+        if len(self._queue) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._queue.append(packet)
+        self.delivered += 1
+        if len(self._queue) > self.max_depth:
+            self.max_depth = len(self._queue)
+        if self.consumer is not None:
+            self.consumer.wake()
+        return True
+
+    def pop(self) -> Optional[Packet]:
+        """Application-side dequeue, or None when empty."""
+        return self._queue.popleft() if self._queue else None
+
+    def peek_newest(self) -> Optional[Packet]:
+        """The most recently delivered packet, without dequeueing."""
+        return self._queue[-1] if self._queue else None

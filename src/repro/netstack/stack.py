@@ -1,0 +1,114 @@
+"""Wiring of the network stack over a processor and a NIC.
+
+Creates, per core: a task scheduler, a ksoftirqd thread, a socket queue,
+and a NAPI context bound to the matching NIC queue (the testbed topology:
+one queue per core, RSS steering flows evenly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.cpu.topology import Processor
+from repro.netstack.ksoftirqd import KsoftirqdThread
+from repro.netstack.napi import NapiConfig, NapiContext
+from repro.netstack.socket import SocketQueue
+from repro.nic.nic import MultiQueueNic
+from repro.nic.packet import Packet, TxCompletion
+from repro.osched.scheduler import CoreScheduler
+from repro.units import MS
+
+
+@dataclass(frozen=True)
+class StackConfig:
+    """Network-stack tunables."""
+
+    napi: NapiConfig = field(default_factory=NapiConfig)
+    timeslice_ns: int = 1 * MS
+    mss_bytes: int = 1448
+    #: Gap between consecutive ACKs of one response arriving back
+    #: (serialization on the wire plus client-side processing).
+    ack_spacing_ns: int = 8_000
+
+
+class NetworkStack:
+    """Per-core NAPI machinery plus the Tx path back to the client."""
+
+    def __init__(self, sim, processor: Processor, nic: MultiQueueNic,
+                 config: Optional[StackConfig] = None):
+        if nic.n_queues != processor.n_cores:
+            raise ValueError("expect one NIC queue per core")
+        self.sim = sim
+        self.processor = processor
+        self.nic = nic
+        self.config = config or StackConfig()
+        #: Called as ``response_sink(packet)`` when a response reaches the
+        #: client side of the wire; set by the system builder.
+        self.response_sink: Optional[Callable[[Packet], None]] = None
+
+        self.schedulers: List[CoreScheduler] = []
+        self.ksoftirqds: List[KsoftirqdThread] = []
+        self.sockets: List[SocketQueue] = []
+        self.napis: List[NapiContext] = []
+        for core in processor.cores:
+            cid = core.core_id
+            sched = CoreScheduler(sim, core,
+                                  timeslice_ns=self.config.timeslice_ns)
+            ksoftirqd = KsoftirqdThread(cid)
+            sched.add_thread(ksoftirqd)
+            socket = SocketQueue(cid)
+            napi = NapiContext(sim, core, nic, cid, config=self.config.napi,
+                               deliver=self._deliver)
+            ksoftirqd.attach_napi(napi)
+            nic.bind(cid, napi.on_interrupt)
+            self.schedulers.append(sched)
+            self.ksoftirqds.append(ksoftirqd)
+            self.sockets.append(socket)
+            self.napis.append(napi)
+
+    def _deliver(self, packet: Packet, core_id: int) -> None:
+        self.sockets[core_id].deliver(packet)
+
+    def send_response(self, request, core_id: int) -> None:
+        """Transmit a response for ``request`` from ``core_id``.
+
+        The response is segmented at the MSS: every segment leaves a Tx
+        completion for the poll loop, and — for TCP workloads
+        (``request.acked_response``) — draws one inbound ACK per segment
+        after a round trip, which the softirq must also process.
+        """
+        if self.response_sink is None:
+            raise RuntimeError("response_sink not wired")
+        n_segments = max(1, -(-int(request.response_bytes)
+                              // self.config.mss_bytes))
+        last_size = (int(request.response_bytes)
+                     - (n_segments - 1) * self.config.mss_bytes)
+        packet = Packet(flow_id=request.flow_id,
+                        size_bytes=max(64, last_size),
+                        created_ns=self.sim.now, request=request)
+        # Extra segments: Tx completions only (payload carried by `packet`).
+        for _ in range(n_segments - 1):
+            self.nic.queues[core_id].push_txc(TxCompletion(packet.packet_id))
+        self.nic.transmit(packet, core_id, self.response_sink)
+        if request.acked_response:
+            rtt = 2 * self.nic.wire_latency_ns
+            for i in range(n_segments):
+                self.sim.schedule(rtt + i * self.config.ack_spacing_ns,
+                                  self._ack_arrives, request.flow_id)
+
+    def _ack_arrives(self, flow_id: int) -> None:
+        ack = Packet(flow_id=flow_id, size_bytes=64,
+                     created_ns=self.sim.now, kind=Packet.KIND_ACK)
+        self.nic.receive(ack)
+
+    # Aggregate counters used by experiments ---------------------------- #
+
+    def total_pkts_interrupt_mode(self) -> int:
+        return sum(n.pkts_interrupt_mode for n in self.napis)
+
+    def total_pkts_polling_mode(self) -> int:
+        return sum(n.pkts_polling_mode for n in self.napis)
+
+    def total_ksoftirqd_wakeups(self) -> int:
+        return sum(k.wake_count for k in self.ksoftirqds)

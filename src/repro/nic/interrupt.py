@@ -1,0 +1,40 @@
+"""Interrupt moderation (ITR).
+
+Real NICs rate-limit interrupt generation; the Intel 82599's minimum
+interrupt gap is 10 µs (Sec. 5.1). Moderation is the reason interrupt-mode
+packet processing is capped under load: packets keep arriving but at most
+one interrupt fires per gap, so the overflow is handled by polling.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.units import US
+
+
+class InterruptModerator:
+    """Per-queue interrupt pacing state.
+
+    ``next_fire_time(now)`` answers: if an interrupt condition is raised at
+    ``now``, when may the interrupt actually fire? ``record_fire`` must be
+    called when it does.
+    """
+
+    def __init__(self, min_gap_ns: int = 10 * US):
+        if min_gap_ns < 0:
+            raise ValueError("gap must be >= 0")
+        self.min_gap_ns = min_gap_ns
+        self._last_fire_ns: Optional[int] = None
+        self.fired = 0
+
+    def next_fire_time(self, now_ns: int) -> int:
+        """Earliest permitted fire time for a condition raised at ``now_ns``."""
+        if self._last_fire_ns is None:
+            return now_ns
+        return max(now_ns, self._last_fire_ns + self.min_gap_ns)
+
+    def record_fire(self, now_ns: int) -> None:
+        """Account an interrupt actually delivered at ``now_ns``."""
+        self._last_fire_ns = now_ns
+        self.fired += 1

@@ -1,0 +1,126 @@
+"""The multi-queue NIC device model."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.nic.interrupt import InterruptModerator
+from repro.nic.packet import Packet, TxCompletion
+from repro.nic.queue import NicQueue
+from repro.nic.rss import RssDistributor
+from repro.units import US
+
+
+class MultiQueueNic:
+    """A multi-queue NIC with RSS steering and per-queue moderation.
+
+    Each queue is bound to an interrupt handler (the queue's NAPI context)
+    via :meth:`bind`. The NAPI context owns the queue's interrupt-enable
+    state: while polling it calls :meth:`disable_irq`; on drain it calls
+    :meth:`enable_irq`, which re-arms a pending interrupt if work remains.
+
+    Transmit is modelled as a wire delay to the client sink plus a
+    Tx-completion descriptor pushed back onto the queue for the poll loop
+    to clean (Fig. 1's Tx path).
+    """
+
+    def __init__(self, sim, n_queues: int,
+                 rss: Optional[RssDistributor] = None,
+                 itr_gap_ns: int = 10 * US,
+                 wire_latency_ns: int = 5 * US,
+                 rx_capacity: int = 4096):
+        if n_queues < 1:
+            raise ValueError("need at least one queue")
+        self.sim = sim
+        self.queues: List[NicQueue] = [NicQueue(q, rx_capacity)
+                                       for q in range(n_queues)]
+        self.rss = rss or RssDistributor(n_queues)
+        if self.rss.n_queues != n_queues:
+            raise ValueError("RSS distributor sized for a different queue count")
+        self.moderators = [InterruptModerator(itr_gap_ns) for _ in range(n_queues)]
+        self.wire_latency_ns = wire_latency_ns
+        self._handlers: List[Optional[Callable[[int], None]]] = [None] * n_queues
+        self._irq_enabled = [True] * n_queues
+        self._irq_pending_ev: List[Optional[object]] = [None] * n_queues
+        self.rx_packets = 0
+        #: Rx packets that carry a request payload (what NCAP's NIC-level
+        #: latency-critical-request filter counts).
+        self.rx_data_packets = 0
+        self.tx_packets = 0
+
+    @property
+    def n_queues(self) -> int:
+        return len(self.queues)
+
+    def bind(self, queue_id: int, handler: Callable[[int], None]) -> None:
+        """Attach the interrupt handler (NAPI context) for ``queue_id``."""
+        self._handlers[queue_id] = handler
+
+    # ------------------------------------------------------------------ #
+    # Rx path
+    # ------------------------------------------------------------------ #
+
+    def receive(self, packet: Packet) -> bool:
+        """A packet arrives from the wire; returns False if tail-dropped."""
+        qid = self.rss.queue_for(packet.flow_id)
+        queue = self.queues[qid]
+        if not queue.push_rx(packet):
+            return False
+        self.rx_packets += 1
+        if packet.kind == Packet.KIND_DATA and packet.request is not None:
+            self.rx_data_packets += 1
+        self._maybe_raise_irq(qid)
+        return True
+
+    def _maybe_raise_irq(self, qid: int) -> None:
+        if not self._irq_enabled[qid]:
+            return
+        if self._irq_pending_ev[qid] is not None:
+            return
+        if not self.queues[qid].has_work:
+            return
+        fire_at = self.moderators[qid].next_fire_time(self.sim.now)
+        self._irq_pending_ev[qid] = self.sim.schedule_at(
+            fire_at, self._fire_irq, qid)
+
+    def _fire_irq(self, qid: int) -> None:
+        self._irq_pending_ev[qid] = None
+        if not self._irq_enabled[qid] or not self.queues[qid].has_work:
+            return
+        self.moderators[qid].record_fire(self.sim.now)
+        handler = self._handlers[qid]
+        if handler is None:
+            raise RuntimeError(f"queue {qid} has no bound interrupt handler")
+        handler(qid)
+
+    # ------------------------------------------------------------------ #
+    # IRQ enable/disable (driven by NAPI)
+    # ------------------------------------------------------------------ #
+
+    def irq_enabled(self, qid: int) -> bool:
+        return self._irq_enabled[qid]
+
+    def disable_irq(self, qid: int) -> None:
+        """Mask the queue's interrupt (NAPI entering polling)."""
+        self._irq_enabled[qid] = False
+        ev = self._irq_pending_ev[qid]
+        if ev is not None:
+            self.sim.cancel(ev)
+            self._irq_pending_ev[qid] = None
+
+    def enable_irq(self, qid: int) -> None:
+        """Unmask the queue's interrupt; re-arms if work is pending."""
+        self._irq_enabled[qid] = True
+        self._maybe_raise_irq(qid)
+
+    # ------------------------------------------------------------------ #
+    # Tx path
+    # ------------------------------------------------------------------ #
+
+    def transmit(self, packet: Packet, qid: int,
+                 sink: Callable[[Packet], None]) -> None:
+        """Send a packet: wire delay to ``sink``, completion to the queue."""
+        self.tx_packets += 1
+        self.queues[qid].push_txc(TxCompletion(packet.packet_id))
+        self._maybe_raise_irq(qid)
+        self.sim.schedule(self.wire_latency_ns, sink, packet)

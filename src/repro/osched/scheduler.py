@@ -1,0 +1,108 @@
+"""Per-core round-robin task scheduler.
+
+Approximates CFS at the fidelity the paper needs: all task-priority
+threads on a core (the pinned application worker and ksoftirqd) share the
+CPU in round-robin timeslices, and softirq work preempts them (handled by
+the core's priority levels). The fairness between ksoftirqd and the
+application is what causes application starvation under heavy polling —
+the phenomenon ksoftirqd exists to bound (Sec. 2.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.cpu.core import PRIORITY_TASK, Work
+from repro.osched.thread import RUNNABLE, RUNNING, SLEEPING, SimThread
+from repro.units import MS
+
+
+class CoreScheduler:
+    """Round-robin scheduler owning the task-priority work of one core."""
+
+    def __init__(self, sim, core, timeslice_ns: int = 1 * MS):
+        if timeslice_ns <= 0:
+            raise ValueError("timeslice must be positive")
+        self.sim = sim
+        self.core = core
+        self.timeslice_ns = timeslice_ns
+        self.runnable: Deque[SimThread] = deque()
+        self.current: Optional[SimThread] = None
+        self._current_work: Optional[Work] = None
+        self._slice_ev = None
+        self.preemptions = 0
+
+    def add_thread(self, thread: SimThread) -> None:
+        """Attach a (sleeping) thread to this scheduler."""
+        if thread.scheduler is not None:
+            raise ValueError(f"thread {thread.name!r} already attached")
+        thread.scheduler = self
+
+    def wake(self, thread: SimThread) -> None:
+        """SLEEPING -> RUNNABLE; dispatches if the core's task slot is free."""
+        if thread.scheduler is not self:
+            raise ValueError(f"thread {thread.name!r} belongs to another scheduler")
+        if thread.state != SLEEPING:
+            return
+        thread.state = RUNNABLE
+        self.runnable.append(thread)
+        thread.notify_wake()
+        if self.current is None:
+            self._dispatch()
+
+    def _dispatch(self) -> None:
+        while self.runnable:
+            thread = self.runnable.popleft()
+            work = thread.take_work()
+            if work is None:
+                thread.state = SLEEPING
+                thread.notify_sleep()
+                continue
+            if work.priority != PRIORITY_TASK:
+                raise ValueError("scheduler threads must produce TASK work")
+            self.current = thread
+            self._current_work = work
+            thread.state = RUNNING
+            self._slice_ev = self.sim.schedule(self.timeslice_ns,
+                                               self._slice_expired)
+            self.core.submit(work)
+            return
+        self.current = None
+        self._current_work = None
+
+    def _work_done(self, thread: SimThread, work: Work, original) -> None:
+        """Called by the thread's wrapped completion callback."""
+        if self._slice_ev is not None:
+            self.sim.cancel(self._slice_ev)
+            self._slice_ev = None
+        self.current = None
+        self._current_work = None
+        if original is not None:
+            original(work)
+        # Round-robin: the thread re-queues at the tail; if it has no more
+        # work the next dispatch puts it to sleep (emitting the sleep event).
+        thread.state = RUNNABLE
+        self.runnable.append(thread)
+        if self.current is None:
+            self._dispatch()
+
+    def _slice_expired(self) -> None:
+        self._slice_ev = None
+        thread, work = self.current, self._current_work
+        if thread is None or work is None:
+            return
+        if not self.runnable:
+            # Sole runnable thread: let it continue for another slice.
+            self._slice_ev = self.sim.schedule(self.timeslice_ns,
+                                               self._slice_expired)
+            return
+        if not self.core.pause(work):
+            return  # completed in this same instant; _work_done handles it
+        self.preemptions += 1
+        thread.park(work)
+        thread.state = RUNNABLE
+        self.runnable.append(thread)
+        self.current = None
+        self._current_work = None
+        self._dispatch()

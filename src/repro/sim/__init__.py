@@ -1,0 +1,13 @@
+"""Discrete-event simulation kernel.
+
+Provides the integer-nanosecond event queue and simulator loop every other
+subsystem is built on, plus seeded random-number streams and a lightweight
+trace recorder for time-series instrumentation.
+"""
+
+from repro.sim.event import Event, EventQueue
+from repro.sim.simulator import Simulator
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import TraceRecorder
+
+__all__ = ["Event", "EventQueue", "Simulator", "RandomStreams", "TraceRecorder"]

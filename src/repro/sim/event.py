@@ -1,0 +1,89 @@
+"""Event and event-queue primitives.
+
+Events are ordered by ``(time, seq)`` where ``seq`` is a monotonically
+increasing tie-breaker, so same-timestamp events fire in scheduling order
+(deterministic replay). Cancellation is lazy: a cancelled event stays in the
+heap and is discarded on pop, which keeps cancel O(1).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: absolute simulation time (ns) the event fires at.
+        seq: tie-breaker; preserves FIFO order among same-time events.
+        fn: the callback; called with ``*args`` when the event fires.
+        cancelled: set by :meth:`cancel`; cancelled events never fire.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing. Safe to call more than once."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<Event t={self.time} seq={self.seq} {name} {state}>"
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` ordered by (time, seq)."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of *live* (non-cancelled) events."""
+        return self._live
+
+    def push(self, time: int, fn: Callable[..., Any], args: tuple = ()) -> Event:
+        """Schedule ``fn(*args)`` at absolute time ``time`` and return the event."""
+        ev = Event(time, self._seq, fn, args)
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def cancel(self, ev: Event) -> None:
+        """Cancel an event previously returned by :meth:`push`."""
+        if not ev.cancelled:
+            ev.cancelled = True
+            self._live -= 1
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the next live event, or None if the queue is empty."""
+        self._drop_cancelled()
+        return self._heap[0].time if self._heap else None
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event, or None if empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        self._live -= 1
+        return heapq.heappop(self._heap)
+
+    def _drop_cancelled(self) -> None:
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)

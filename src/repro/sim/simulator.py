@@ -1,0 +1,119 @@
+"""The simulator core loop."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.event import Event, EventQueue
+
+
+class Simulator:
+    """Single-threaded discrete-event simulator with an integer-ns clock.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(10 * US, my_callback, arg)
+        sim.run_until(1 * S)
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._queue = EventQueue()
+        self._events_processed = 0
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live events still scheduled."""
+        return len(self._queue)
+
+    def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` ns from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        return self._queue.push(self.now + int(delay), fn, args)
+
+    def schedule_at(self, time: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute time ``time`` (ns)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule at {time} < now={self.now}")
+        return self._queue.push(int(time), fn, args)
+
+    def cancel(self, ev: Event) -> None:
+        """Cancel a previously scheduled event."""
+        self._queue.cancel(ev)
+
+    def step(self) -> bool:
+        """Execute the next event. Returns False when the queue is empty."""
+        ev = self._queue.pop()
+        if ev is None:
+            return False
+        self.now = ev.time
+        self._events_processed += 1
+        ev.fn(*ev.args)
+        return True
+
+    def run_until(self, t_end: int) -> None:
+        """Run events up to and including time ``t_end``, then set now=t_end."""
+        queue = self._queue
+        while True:
+            nxt = queue.peek_time()
+            if nxt is None or nxt > t_end:
+                break
+            ev = queue.pop()
+            assert ev is not None
+            self.now = ev.time
+            self._events_processed += 1
+            ev.fn(*ev.args)
+        if t_end > self.now:
+            self.now = t_end
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Run until the event queue drains (or ``max_events`` fired)."""
+        count = 0
+        while self.step():
+            count += 1
+            if max_events is not None and count >= max_events:
+                break
+
+    def every(self, period: int, fn: Callable[..., Any], *args: Any,
+              start_delay: Optional[int] = None) -> "PeriodicTimer":
+        """Run ``fn(*args)`` every ``period`` ns. Returns a stoppable timer."""
+        return PeriodicTimer(self, period, fn, args, start_delay=start_delay)
+
+
+class PeriodicTimer:
+    """A repeating timer; ``stop()`` cancels future firings."""
+
+    def __init__(self, sim: Simulator, period: int, fn: Callable[..., Any],
+                 args: tuple, start_delay: Optional[int] = None):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self._sim = sim
+        self.period = period
+        self._fn = fn
+        self._args = args
+        self._stopped = False
+        first = period if start_delay is None else start_delay
+        self._ev = sim.schedule(first, self._fire)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._ev = self._sim.schedule(self.period, self._fire)
+        self._fn(*self._args)
+
+    def stop(self) -> None:
+        """Stop the timer; no further firings occur."""
+        self._stopped = True
+        if self._ev is not None:
+            self._sim.cancel(self._ev)
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped

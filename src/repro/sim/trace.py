@@ -1,0 +1,49 @@
+"""Trace recording: append-only channels of (time, value) samples.
+
+Experiments subscribe probes (ksoftirqd wakeups, P-state changes, packets
+per NAPI mode, C-state entries, ...) to named channels; the metrics layer
+bins and renders them. Recording is optional and cheap when disabled.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Tuple
+
+import numpy as np
+
+
+class TraceRecorder:
+    """Named channels of timestamped samples."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._channels: Dict[str, List[Tuple[int, Any]]] = {}
+
+    def record(self, channel: str, time_ns: int, value: Any = 1) -> None:
+        """Append ``(time_ns, value)`` to ``channel`` (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self._channels.setdefault(channel, []).append((time_ns, value))
+
+    def channels(self) -> Iterable[str]:
+        """Names of channels that received at least one sample."""
+        return self._channels.keys()
+
+    def samples(self, channel: str) -> List[Tuple[int, Any]]:
+        """All samples of ``channel`` in record order (empty if none)."""
+        return self._channels.get(channel, [])
+
+    def times(self, channel: str) -> np.ndarray:
+        """Sample times of ``channel`` as an int64 array."""
+        return np.array([t for t, _ in self.samples(channel)], dtype=np.int64)
+
+    def values(self, channel: str) -> np.ndarray:
+        """Sample values of ``channel`` as a float array."""
+        return np.array([v for _, v in self.samples(channel)], dtype=float)
+
+    def clear(self) -> None:
+        """Drop all recorded samples."""
+        self._channels.clear()
+
+    def __contains__(self, channel: str) -> bool:
+        return channel in self._channels

@@ -1,0 +1,347 @@
+"""System facade: build and run a complete server under one config.
+
+:class:`ServerConfig` names everything the paper's testbed fixes (app,
+load level, core count, governors, thresholds); :class:`ServerSystem`
+assembles the simulator, processor, NIC, network stack, application
+workers, client, and power management, runs the experiment, and returns a
+:class:`RunResult` with latencies, energy, and traces.
+
+This is the main public API::
+
+    from repro import ServerConfig, ServerSystem
+
+    result = ServerSystem(ServerConfig(app="memcached", load_level="high",
+                                       freq_governor="nmap")).run(300 * MS)
+    print(result.latency_stats().describe())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.apps.base import AppWorkerThread
+from repro.apps.registry import make_app
+from repro.baselines.ncap import NcapManager
+from repro.baselines.parties import PartiesManager
+from repro.core.nmap import NmapGovernor, NmapThresholds
+from repro.core.nmap_simpl import NmapSimplGovernor
+from repro.cpu.power import PowerModel
+from repro.cpu.profiles import PROCESSOR_PROFILES
+from repro.cpu.topology import Processor
+from repro.governors.ondemand import OndemandGovernor
+from repro.governors.registry import (FREQ_GOVERNORS, make_freq_governor,
+                                      make_idle_governor)
+from repro.metrics.energy import EnergySummary
+from repro.metrics.latency import LatencyStats
+from repro.metrics.slo import SloResult, check_slo
+from repro.nic.nic import MultiQueueNic
+from repro.netstack.stack import NetworkStack, StackConfig
+from repro.sim.rng import RandomStreams
+from repro.sim.simulator import Simulator
+from repro.sim.trace import TraceRecorder
+from repro.units import MS, S
+from repro.workload.client import OpenLoopClient
+from repro.workload.profiles import levels_for
+from repro.workload.shapes import LoadShape, ScaledLoad
+
+#: Governor names handled by the system builder beyond the plain cpufreq
+#: governors.
+MANAGED_GOVERNORS = ("nmap", "nmap-simpl", "nmap-adaptive", "ncap",
+                     "ncap-menu", "parties", "per-request-dvfs",
+                     "per-request-dvfs-ideal")
+
+#: Fallback NMAP thresholds per application, measured once with
+#: repro.core.profiling.profile_thresholds at the high (SLO-setting) load.
+#: Experiments normally profile explicitly; these serve quickstarts.
+DEFAULT_NMAP_THRESHOLDS: Dict[str, NmapThresholds] = {
+    "memcached": NmapThresholds(ni_th=20.0, cu_th=1.19),
+    "nginx": NmapThresholds(ni_th=15.0, cu_th=0.74),
+}
+
+#: NCAP boost thresholds (aggregate RPS per core), tuned as the paper
+#: tunes its software NCAP: to satisfy the SLO at the high load.
+DEFAULT_NCAP_THRESHOLD_RPS_PER_CORE: Dict[str, float] = {
+    "memcached": 16_000.0,
+    "nginx": 8_000.0,
+}
+
+
+@dataclass
+class ServerConfig:
+    """Everything needed to build one server experiment."""
+
+    app: str = "memcached"
+    app_params: dict = field(default_factory=dict)
+    load_level: str = "high"
+    load_shape: Optional[LoadShape] = None  # overrides load_level if set
+    n_cores: int = 2
+    processor: str = "Gold-6134"
+    dvfs_domain: str = "per-core"
+    freq_governor: str = "ondemand"
+    freq_governor_params: dict = field(default_factory=dict)
+    idle_governor: str = "menu"
+    idle_governor_params: dict = field(default_factory=dict)
+    nmap_thresholds: Optional[NmapThresholds] = None
+    ncap_threshold_rps: Optional[float] = None
+    stack: StackConfig = field(default_factory=StackConfig)
+    power_model_params: dict = field(default_factory=dict)
+    wire_latency_ns: int = 5_000
+    itr_gap_ns: int = 10_000  # NIC interrupt moderation (82599: 10 µs)
+    #: None = fresh flow per request (uniform RSS spread); a small number
+    #: concentrates flows onto few queues (per-core load imbalance).
+    n_flows: Optional[int] = None
+    seed: int = 0
+    trace: bool = False
+
+    def with_overrides(self, **kwargs) -> "ServerConfig":
+        """A copy with fields replaced (convenience for sweeps)."""
+        return replace(self, **kwargs)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one :meth:`ServerSystem.run`."""
+
+    config: ServerConfig
+    duration_ns: int
+    sent: int
+    completed: int
+    dropped: int
+    latencies_ns: np.ndarray
+    completion_times_ns: np.ndarray
+    energy: EnergySummary
+    slo_ns: int
+    trace: TraceRecorder
+    pkts_interrupt_mode: int
+    pkts_polling_mode: int
+    ksoftirqd_wakeups: int
+
+    def latency_stats(self) -> LatencyStats:
+        """Percentile summary of completed-request latencies."""
+        return LatencyStats.from_sample(self.latencies_ns)
+
+    def slo_result(self) -> SloResult:
+        """P99-vs-SLO verdict."""
+        return check_slo(self.latencies_ns, self.slo_ns)
+
+    @property
+    def p99_ns(self) -> float:
+        return self.slo_result().p99_ns
+
+    @property
+    def energy_j(self) -> float:
+        return self.energy.package_j
+
+
+class ServerSystem:
+    """A fully wired server + client, ready to run."""
+
+    def __init__(self, config: ServerConfig):
+        self.config = config
+        self.sim = Simulator()
+        self.rng = RandomStreams(config.seed)
+        self.trace = TraceRecorder(enabled=config.trace)
+
+        profile = PROCESSOR_PROFILES.get(config.processor)
+        if profile is None:
+            raise ValueError(f"unknown processor {config.processor!r}; "
+                             f"known: {sorted(PROCESSOR_PROFILES)}")
+        # Uncore power is modelled proportional to the simulated core count
+        # so that quick (few-core) runs report the same normalized energy
+        # ratios as full 8-core runs.
+        power_params = dict(config.power_model_params)
+        power_params.setdefault("uncore_max_power_w", 2.75 * config.n_cores)
+        power_params.setdefault("uncore_min_power_w", 0.35 * config.n_cores)
+        power_model = PowerModel(profile.pstate_table(), **power_params)
+        self.processor = Processor(
+            self.sim, profile=profile, n_cores=config.n_cores,
+            dvfs_domain=config.dvfs_domain, power_model=power_model,
+            rng_streams=self.rng,
+            trace=self.trace if config.trace else None)
+
+        self.nic = MultiQueueNic(self.sim, n_queues=config.n_cores,
+                                 wire_latency_ns=config.wire_latency_ns,
+                                 itr_gap_ns=config.itr_gap_ns)
+        self.stack = NetworkStack(self.sim, self.processor, self.nic,
+                                  config=config.stack)
+
+        # Application: one worker thread pinned per core.
+        self.app = make_app(config.app, self.rng.stream("app"),
+                            **config.app_params)
+        self.workers: List[AppWorkerThread] = []
+        for cid in range(config.n_cores):
+            worker = AppWorkerThread(self.app, cid,
+                                     self.stack.sockets[cid], self.stack)
+            self.stack.schedulers[cid].add_thread(worker)
+            self.workers.append(worker)
+
+        # Workload client. Profiles are per-core rates; the load_shape
+        # override, when given, is also interpreted per core.
+        shape = config.load_shape
+        if shape is None:
+            shape = levels_for(config.app).level(config.load_level).shape()
+        if config.n_cores != 1:
+            shape = ScaledLoad(shape, config.n_cores)
+        self.load_shape = shape
+        self.client = OpenLoopClient(
+            self.sim, self.nic, shape, self.rng.numpy_stream("client"),
+            request_factory=self.app.request_factory(),
+            wire_latency_ns=config.wire_latency_ns,
+            n_flows=config.n_flows)
+        self.stack.response_sink = self.client.on_response
+
+        # Idle governor (shared instance across cores). "nmap-sleep" is
+        # the mode-aware extension: it needs the NMAP engines, so it is
+        # wired after power management below.
+        if config.idle_governor == "nmap-sleep":
+            from repro.core.sleep_integration import ModeAwareIdleGovernor
+            self.idle_governor = ModeAwareIdleGovernor(
+                **config.idle_governor_params)
+        else:
+            self.idle_governor = make_idle_governor(
+                config.idle_governor, **config.idle_governor_params)
+        for core in self.processor.cores:
+            core.idle_governor = self.idle_governor
+
+        # Frequency governors / system power managers.
+        self.freq_governors: List = []
+        self.manager = None
+        self._build_power_management()
+
+        if config.idle_governor == "nmap-sleep":
+            engines = [getattr(gov, "engine", None)
+                       for gov in self.freq_governors]
+            if not engines or any(e is None for e in engines):
+                raise ValueError(
+                    "idle_governor='nmap-sleep' requires an NMAP-family "
+                    "frequency governor (nmap / nmap-adaptive)")
+            for cid, engine in enumerate(engines):
+                self.idle_governor.register_engine(cid, engine)
+
+        if config.trace:
+            self._wire_trace_probes()
+
+    # ------------------------------------------------------------------ #
+
+    def _build_power_management(self) -> None:
+        cfg = self.config
+        name = cfg.freq_governor
+        params = dict(cfg.freq_governor_params)
+        if name in FREQ_GOVERNORS:
+            for cid in range(cfg.n_cores):
+                self.freq_governors.append(make_freq_governor(
+                    name, self.sim, self.processor, cid, **params))
+        elif name == "nmap":
+            thresholds = (cfg.nmap_thresholds
+                          or DEFAULT_NMAP_THRESHOLDS[cfg.app])
+            for cid in range(cfg.n_cores):
+                self.freq_governors.append(NmapGovernor(
+                    self.sim, self.processor, cid, self.stack.napis[cid],
+                    thresholds,
+                    trace=self.trace if cfg.trace else None, **params))
+        elif name == "nmap-adaptive":
+            from repro.core.adaptive import AdaptiveNmapGovernor
+            thresholds = (cfg.nmap_thresholds
+                          or DEFAULT_NMAP_THRESHOLDS[cfg.app])
+            for cid in range(cfg.n_cores):
+                self.freq_governors.append(AdaptiveNmapGovernor(
+                    self.sim, self.processor, cid, self.stack.napis[cid],
+                    thresholds,
+                    trace=self.trace if cfg.trace else None, **params))
+        elif name in ("per-request-dvfs", "per-request-dvfs-ideal"):
+            from repro.baselines.per_request import PerRequestDvfsManager
+            self.manager = PerRequestDvfsManager(
+                self.sim, self.processor, self.stack,
+                slo_ns=self.app.slo_ns,
+                ideal_transitions=name.endswith("ideal"), **params)
+        elif name == "nmap-simpl":
+            for cid in range(cfg.n_cores):
+                self.freq_governors.append(NmapSimplGovernor(
+                    self.sim, self.processor, cid, self.stack.ksoftirqds[cid],
+                    trace=self.trace if cfg.trace else None, **params))
+        elif name in ("ncap", "ncap-menu"):
+            threshold = cfg.ncap_threshold_rps
+            if threshold is None:
+                threshold = (DEFAULT_NCAP_THRESHOLD_RPS_PER_CORE[cfg.app]
+                             * cfg.n_cores)
+            fallbacks = [OndemandGovernor(self.sim, self.processor, cid)
+                         for cid in range(cfg.n_cores)]
+            self.manager = NcapManager(
+                self.sim, self.processor, self.nic, fallbacks,
+                threshold_rps=threshold,
+                disable_sleep_in_boost=(name == "ncap"),
+                trace=self.trace if cfg.trace else None, **params)
+        elif name == "parties":
+            self.manager = PartiesManager(
+                self.sim, self.processor, self.client,
+                slo_ns=self.app.slo_ns,
+                trace=self.trace if cfg.trace else None, **params)
+        else:
+            raise ValueError(
+                f"unknown frequency governor {name!r}; known: "
+                f"{sorted(FREQ_GOVERNORS) + list(MANAGED_GOVERNORS)}")
+
+    def _wire_trace_probes(self) -> None:
+        for cid, napi in enumerate(self.stack.napis):
+            def on_poll(napi_, n, mode, cid=cid):
+                if n:
+                    self.trace.record(f"core{cid}.pkts_{mode}",
+                                      self.sim.now, n)
+            napi.poll_listeners.append(on_poll)
+        for cid, ksoftirqd in enumerate(self.stack.ksoftirqds):
+            ksoftirqd.wake_listeners.append(
+                lambda t, cid=cid: self.trace.record(
+                    f"core{cid}.ksoftirqd_wake", self.sim.now, 1))
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, duration_ns: int, drain_ns: int = 100 * MS) -> RunResult:
+        """Run the workload for ``duration_ns``, then drain in-flight work.
+
+        Energy is measured over exactly [0, duration]; latencies include
+        requests that complete during the drain window.
+        """
+        if duration_ns <= 0:
+            raise ValueError("duration must be positive")
+        self.client.start(duration_ns)
+        for gov in self.freq_governors:
+            gov.start()
+        if self.manager is not None:
+            self.manager.start()
+
+        self.sim.run_until(duration_ns)
+        self.processor.finalize()
+        package_j = self.processor.energy.total_energy_j(duration_ns)
+        cores_j = self.processor.energy.cores_energy_j(duration_ns)
+
+        # Stop periodic machinery, then let in-flight requests finish.
+        for gov in self.freq_governors:
+            gov.stop()
+        if self.manager is not None:
+            self.manager.stop()
+        self.sim.run_until(duration_ns + drain_ns)
+        self.processor.finalize()
+
+        return RunResult(
+            config=self.config,
+            duration_ns=duration_ns,
+            sent=self.client.sent,
+            completed=self.client.completed,
+            dropped=self.client.dropped,
+            latencies_ns=self.client.latencies_ns(),
+            completion_times_ns=self.client.completion_times_ns(),
+            energy=EnergySummary(package_j=package_j, cores_j=cores_j,
+                                 duration_s=duration_ns / S),
+            slo_ns=self.app.slo_ns,
+            trace=self.trace,
+            pkts_interrupt_mode=self.stack.total_pkts_interrupt_mode(),
+            pkts_polling_mode=self.stack.total_pkts_polling_mode(),
+            ksoftirqd_wakeups=self.stack.total_ksoftirqd_wakeups())
+
+
+def run_server(config: ServerConfig, duration_ns: int) -> RunResult:
+    """Build a :class:`ServerSystem` from ``config`` and run it."""
+    return ServerSystem(config).run(duration_ns)

@@ -1,0 +1,27 @@
+"""Workload generation: bursty open-loop clients.
+
+The paper's clients send repetitive bursts of requests separated by idle
+periods (Sec. 3.1, Fig. 2). Load levels (low/medium/high) differ in burst
+*duty and peak*, not only mean rate; burst onsets look similar across
+levels, which is why NMAP's thresholds transfer across load changes
+(Sec. 4.2). Canonical per-application profiles live in
+:mod:`repro.workload.profiles`.
+"""
+
+from repro.workload.request import Request
+from repro.workload.shapes import (BurstLoad, ConstantLoad, LoadShape,
+                                   PiecewiseLoad, ScaledLoad,
+                                   generate_arrivals)
+from repro.workload.client import OpenLoopClient
+from repro.workload.profiles import (LoadLevel, WorkloadProfile,
+                                     MEMCACHED_LEVELS, NGINX_LEVELS,
+                                     levels_for)
+from repro.workload.changing import make_changing_load
+from repro.workload.closed_loop import ClosedLoopClient
+
+__all__ = [
+    "Request", "LoadShape", "ConstantLoad", "BurstLoad", "PiecewiseLoad",
+    "ScaledLoad", "generate_arrivals", "OpenLoopClient",
+    "LoadLevel", "WorkloadProfile", "MEMCACHED_LEVELS", "NGINX_LEVELS",
+    "levels_for", "make_changing_load", "ClosedLoopClient",
+]

@@ -1,0 +1,42 @@
+"""Changing-load workloads (Fig. 16).
+
+The paper's final experiment picks one of the low/medium/high memcached
+loads at random and switches periodically while NMAP (thresholds fixed)
+and Parties (500 ms feedback) manage power.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.units import MS
+from repro.workload.profiles import LEVELS, WorkloadProfile
+from repro.workload.shapes import PiecewiseLoad
+
+
+def make_changing_load(profile: WorkloadProfile, duration_ns: int,
+                       switch_period_ns: int = 500 * MS,
+                       rng: Optional[np.random.Generator] = None,
+                       level_names: Sequence[str] = LEVELS) -> PiecewiseLoad:
+    """Random level switches every ``switch_period_ns`` over the horizon.
+
+    Consecutive segments always differ in level, so every switch is a real
+    load change.
+    """
+    if duration_ns <= 0 or switch_period_ns <= 0:
+        raise ValueError("durations must be positive")
+    if len(level_names) < 2:
+        raise ValueError("need at least two levels to change between")
+    rng = rng or np.random.default_rng(0)
+    segments = []
+    t = 0
+    previous = None
+    while t < duration_ns:
+        choices = [n for n in level_names if n != previous]
+        name = choices[int(rng.integers(len(choices)))]
+        previous = name
+        segments.append((t, profile.level(name).shape()))
+        t += switch_period_ns
+    return PiecewiseLoad(segments)

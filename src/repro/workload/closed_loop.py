@@ -1,0 +1,86 @@
+"""A closed-loop client, for contrast with the open-loop measurement.
+
+The paper (correctly) measures with open-loop load: arrivals never wait
+for responses, so queueing collapse shows up as unbounded latency. A
+closed-loop client — N outstanding requests, each issued when the
+previous one completes — *self-throttles* under overload and therefore
+under-reports tail latency. This implementation exists to demonstrate
+that methodological point (see tests): it is not used by any paper
+experiment.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nic.packet import Packet
+from repro.workload.request import Request
+
+
+class ClosedLoopClient:
+    """N concurrent request chains; each completion triggers the next."""
+
+    def __init__(self, sim, nic, concurrency: int, rng,
+                 request_factory=None, think_time_ns: int = 0,
+                 wire_latency_ns: int = 5_000):
+        if concurrency < 1:
+            raise ValueError("need at least one outstanding request")
+        if think_time_ns < 0:
+            raise ValueError("think time must be >= 0")
+        self.sim = sim
+        self.nic = nic
+        self.concurrency = concurrency
+        self.rng = rng
+        self.request_factory = request_factory or (
+            lambda flow_id, t: Request(flow_id, t))
+        self.think_time_ns = think_time_ns
+        self.wire_latency_ns = wire_latency_ns
+        self._flow_counter = 0
+        self._stopped = False
+        self.sent = 0
+        self.completed = 0
+        self._latencies: List[int] = []
+
+    def start(self, duration_ns: int) -> None:
+        """Launch the chains; new requests stop after ``duration_ns``."""
+        self._deadline = duration_ns
+        for _ in range(self.concurrency):
+            self._send_one()
+
+    def _send_one(self) -> None:
+        if self._stopped or self.sim.now >= self._deadline:
+            return
+        self._flow_counter += 1
+        request = self.request_factory(self._flow_counter, self.sim.now)
+        packet = Packet(flow_id=request.flow_id,
+                        size_bytes=request.size_bytes,
+                        created_ns=self.sim.now, request=request)
+        self.sim.schedule(self.wire_latency_ns, self.nic.receive, packet)
+        self.sent += 1
+
+    def on_response(self, packet: Packet) -> None:
+        """Wire as the stack's response sink."""
+        request = packet.request
+        if request is None:
+            return
+        request.completed_ns = self.sim.now
+        self.completed += 1
+        self._latencies.append(request.completed_ns - request.created_ns)
+        if self.think_time_ns:
+            self.sim.schedule(self.think_time_ns, self._send_one)
+        else:
+            self._send_one()
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def latencies_ns(self) -> np.ndarray:
+        return np.array(self._latencies, dtype=np.int64)
+
+    def throughput_rps(self, duration_ns: int) -> float:
+        """Completed requests per second over the run."""
+        if duration_ns <= 0:
+            raise ValueError("duration must be positive")
+        return self.completed * 1e9 / duration_ns

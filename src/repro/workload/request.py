@@ -1,0 +1,51 @@
+"""Application-level requests."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+_request_ids = itertools.count()
+
+
+class Request:
+    """One client request and its life-cycle timestamps (all ns).
+
+    End-to-end response latency (what the paper's SLOs constrain) is
+    ``completed_ns - created_ns``: generation at the client through NIC,
+    softirq, scheduling, service, and the response's wire trip back.
+    """
+
+    __slots__ = ("request_id", "flow_id", "kind", "created_ns", "size_bytes",
+                 "service_cycles", "response_bytes", "acked_response",
+                 "delivered_ns", "started_ns", "completed_ns", "core_id")
+
+    def __init__(self, flow_id: int, created_ns: int, kind: str = "get",
+                 size_bytes: int = 128, service_cycles: float = 0.0,
+                 response_bytes: int = 128, acked_response: bool = False):
+        self.request_id = next(_request_ids)
+        self.flow_id = flow_id
+        self.kind = kind
+        self.created_ns = created_ns
+        self.size_bytes = size_bytes
+        self.service_cycles = service_cycles
+        #: Response payload size; large responses span several MSS-sized
+        #: segments, each producing a Tx completion (and, for TCP
+        #: workloads, an inbound ACK).
+        self.response_bytes = response_bytes
+        #: True for TCP workloads whose client ACKs every segment (nginx).
+        self.acked_response = acked_response
+        self.delivered_ns: Optional[int] = None   # softirq -> socket
+        self.started_ns: Optional[int] = None     # app began service
+        self.completed_ns: Optional[int] = None   # response at client
+        self.core_id: Optional[int] = None
+
+    @property
+    def latency_ns(self) -> Optional[int]:
+        """End-to-end latency, or None if not yet completed."""
+        if self.completed_ns is None:
+            return None
+        return self.completed_ns - self.created_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Request {self.request_id} {self.kind} flow={self.flow_id}>"

@@ -1,0 +1,35 @@
+"""Application base helpers."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.base import lognormal_cycles
+
+
+def test_zero_sigma_is_deterministic():
+    rng = random.Random(0)
+    assert lognormal_cycles(rng, 1000.0, 0.0) == 1000.0
+
+
+def test_draws_are_positive():
+    rng = random.Random(1)
+    assert all(lognormal_cycles(rng, 5000.0, 0.5) > 0 for _ in range(500))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.floats(min_value=100, max_value=1e6),
+       st.floats(min_value=0.05, max_value=0.8))
+def test_sample_mean_matches_requested_mean(mean, sigma):
+    rng = random.Random(7)
+    draws = [lognormal_cycles(rng, mean, sigma) for _ in range(4000)]
+    sample_mean = sum(draws) / len(draws)
+    assert sample_mean == pytest.approx(mean, rel=0.25)
+
+
+def test_larger_sigma_means_heavier_tail():
+    rng = random.Random(3)
+    narrow = [lognormal_cycles(rng, 1000.0, 0.1) for _ in range(3000)]
+    wide = [lognormal_cycles(rng, 1000.0, 0.8) for _ in range(3000)]
+    assert max(wide) > max(narrow)

@@ -1,0 +1,49 @@
+"""nginx application model."""
+
+import random
+
+import pytest
+
+from repro.apps.nginx import NginxApp
+from repro.units import MS
+
+
+@pytest.fixture
+def app():
+    return NginxApp(random.Random(2))
+
+
+def test_slo_is_10ms(app):
+    assert app.slo_ns == 10 * MS
+
+
+def test_responses_are_multi_segment_and_acked(app):
+    reqs = [app.make_request(i, 0) for i in range(200)]
+    assert all(r.acked_response for r in reqs)
+    multi = [r for r in reqs if r.response_bytes > 1448]
+    assert len(multi) > len(reqs) * 0.9
+
+
+def test_service_scales_with_file_size(app):
+    reqs = sorted((app.make_request(i, 0) for i in range(2000)),
+                  key=lambda r: r.response_bytes)
+    small = sum(r.service_cycles for r in reqs[:200]) / 200
+    large = sum(r.service_cycles for r in reqs[-200:]) / 200
+    assert large > small
+
+
+def test_mean_service_cycles_matches_sample(app):
+    sample = [app.make_request(i, 0).service_cycles for i in range(8000)]
+    mean = sum(sample) / len(sample)
+    assert mean == pytest.approx(app.mean_service_cycles(), rel=0.05)
+
+
+def test_nginx_costs_more_than_memcached(app):
+    from repro.apps.memcached import MemcachedApp
+    mc = MemcachedApp(random.Random(1))
+    assert app.mean_service_cycles() > 5 * mc.mean_service_cycles()
+
+
+def test_minimum_file_size(app):
+    assert all(app.make_request(i, 0).response_bytes >= 64
+               for i in range(500))

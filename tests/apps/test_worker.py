@@ -1,0 +1,35 @@
+"""Application worker threads on a live stack."""
+
+import pytest
+
+from repro.system import ServerConfig, ServerSystem
+from repro.units import MS
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    config = ServerConfig(app="memcached", load_level="low",
+                          freq_governor="performance", n_cores=2, seed=5)
+    system = ServerSystem(config)
+    result = system.run(100 * MS)
+    return system, result
+
+
+def test_all_requests_served(small_run):
+    system, result = small_run
+    assert result.completed == result.sent
+    served = sum(w.requests_served for w in system.workers)
+    assert served == result.sent
+
+
+def test_request_lifecycle_timestamps(small_run):
+    system, result = small_run
+    # Spot-check via latencies: every completion implies the full path ran.
+    assert (result.latencies_ns > 0).all()
+
+
+def test_rss_spreads_work_across_workers(small_run):
+    system, result = small_run
+    counts = [w.requests_served for w in system.workers]
+    assert all(c > 0 for c in counts)
+    assert max(counts) < 0.8 * sum(counts)

@@ -1,0 +1,104 @@
+"""Parties-style feedback manager."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.parties import PartiesManager
+from repro.cpu.topology import Processor
+from repro.units import MS
+
+
+class FakeClient:
+    def __init__(self):
+        self._lat = []
+
+    def push(self, values):
+        self._lat.extend(values)
+
+    def latencies_ns(self):
+        return np.array(self._lat, dtype=np.int64)
+
+
+@pytest.fixture
+def setup(sim):
+    proc = Processor(sim, n_cores=2)
+    client = FakeClient()
+    manager = PartiesManager(sim, proc, client, slo_ns=1 * MS,
+                             period_ns=10 * MS, initial_index=8)
+    return proc, client, manager
+
+
+def test_initial_index_applied(sim, setup):
+    proc, _, manager = setup
+    manager.start()
+    sim.run_until(5 * MS)
+    assert all(c.pstate_index == 8 for c in proc.cores)
+
+
+def test_violation_steps_up_aggressively(sim, setup):
+    proc, client, manager = setup
+    manager.start()
+    client.push([2 * MS] * 100)  # p99 = 2x SLO
+    sim.run_until(15 * MS)
+    assert manager.index == 6  # 8 - violation_step(2)
+
+
+def test_tight_slack_steps_up_one(sim, setup):
+    proc, client, manager = setup
+    manager.start()
+    client.push([int(0.95 * MS)] * 100)  # slack 5% < 10%
+    sim.run_until(15 * MS)
+    assert manager.index == 7
+
+
+def test_generous_slack_steps_down(sim, setup):
+    proc, client, manager = setup
+    manager.start()
+    client.push([int(0.2 * MS)] * 100)  # slack 80% > 45%
+    sim.run_until(15 * MS)
+    assert manager.index == 9
+
+
+def test_comfortable_band_holds(sim, setup):
+    proc, client, manager = setup
+    manager.start()
+    client.push([int(0.7 * MS)] * 100)  # slack 30%: inside the band
+    sim.run_until(15 * MS)
+    assert manager.index == 8
+    assert manager.adjustments == 0
+
+
+def test_empty_window_is_skipped(sim, setup):
+    _, _, manager = setup
+    manager.start()
+    sim.run_until(15 * MS)
+    assert manager.index == 8
+
+
+def test_only_new_latencies_count(sim, setup):
+    proc, client, manager = setup
+    manager.start()
+    client.push([2 * MS] * 100)
+    sim.run_until(15 * MS)
+    assert manager.index == 6
+    # No new samples: the old violation is not re-counted.
+    sim.run_until(25 * MS)
+    assert manager.index == 6
+
+
+def test_index_clamped_at_p0(sim, setup):
+    proc, client, manager = setup
+    manager.start()
+    for k in range(10):
+        client.push([5 * MS] * 50)
+        sim.run_until((15 + 10 * k) * MS)
+    assert manager.index == 0
+
+
+def test_validation(sim):
+    proc = Processor(sim, n_cores=1)
+    with pytest.raises(ValueError):
+        PartiesManager(sim, proc, FakeClient(), slo_ns=0)
+    with pytest.raises(ValueError):
+        PartiesManager(sim, proc, FakeClient(), slo_ns=1 * MS,
+                       up_slack=0.5, down_slack=0.4)

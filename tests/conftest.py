@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.cpu.core import Core
+from repro.cpu.cstate import CStateTable
+from repro.cpu.power import PowerModel
+from repro.cpu.pstate import PStateTable
+from repro.sim.rng import RandomStreams
+from repro.sim.simulator import Simulator
+from repro.units import GHZ
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def pstates():
+    """A Gold-6134-like 16-state table (1.2-3.2 GHz)."""
+    return PStateTable.linear(1.2 * GHZ, 3.2 * GHZ, 16)
+
+
+@pytest.fixture
+def rng():
+    return RandomStreams(seed=1234)
+
+
+@pytest.fixture
+def make_core(sim, pstates):
+    """Factory for cores with deterministic (noise-free) latencies."""
+
+    def _make(core_id: int = 0, **kwargs) -> Core:
+        kwargs.setdefault("cstate_table", CStateTable.default(
+            cc1_exit_std_ns=0, cc6_exit_std_ns=0))
+        kwargs.setdefault("power_model", PowerModel(pstates))
+        core = Core(sim, core_id, pstates, **kwargs)
+        core.idle_reselect_period_ns = 0
+        core.idle_entry_delay_ns = 0
+        return core
+
+    return _make
+
+
+@pytest.fixture
+def core(make_core):
+    return make_core()

@@ -1,0 +1,110 @@
+"""Mode Transition Monitor (Algorithm 1)."""
+
+import pytest
+
+from repro.core.monitor import ModeTransitionMonitor
+from repro.netstack.napi import MODE_INTERRUPT, MODE_POLLING
+
+
+class FakeNapi:
+    def __init__(self):
+        self.poll_listeners = []
+        self.irq_listeners = []
+
+    def irq(self):
+        for listener in self.irq_listeners:
+            listener(self)
+
+    def poll(self, n, mode):
+        for listener in self.poll_listeners:
+            listener(self, n, mode)
+
+
+@pytest.fixture
+def napi():
+    return FakeNapi()
+
+
+def make_monitor(napi, ni_th=10):
+    events = {"notify": 0, "reports": []}
+    monitor = ModeTransitionMonitor(
+        napi, ni_threshold=ni_th,
+        notify=lambda: events.__setitem__("notify", events["notify"] + 1),
+        report=lambda p, i: events["reports"].append((p, i)))
+    return monitor, events
+
+
+def test_counters_accumulate_by_mode(napi):
+    monitor, _ = make_monitor(napi)
+    napi.poll(5, MODE_INTERRUPT)
+    napi.poll(3, MODE_POLLING)
+    napi.poll(2, MODE_POLLING)
+    assert monitor.intr_cnt == 5
+    assert monitor.poll_cnt == 5
+
+
+def test_notify_when_polling_exceeds_threshold(napi):
+    monitor, events = make_monitor(napi, ni_th=10)
+    napi.irq()
+    napi.poll(8, MODE_POLLING)
+    assert events["notify"] == 0
+    napi.poll(8, MODE_POLLING)   # 16 > 10
+    assert events["notify"] == 1
+
+
+def test_exactly_threshold_does_not_notify(napi):
+    monitor, events = make_monitor(napi, ni_th=10)
+    napi.irq()
+    napi.poll(10, MODE_POLLING)
+    assert events["notify"] == 0
+
+
+def test_notify_fires_once_per_interrupt_interval(napi):
+    monitor, events = make_monitor(napi, ni_th=5)
+    napi.irq()
+    napi.poll(10, MODE_POLLING)
+    napi.poll(10, MODE_POLLING)
+    assert events["notify"] == 1
+    napi.irq()                    # re-arms
+    napi.poll(10, MODE_POLLING)
+    assert events["notify"] == 2
+
+
+def test_interrupt_resets_per_irq_counter(napi):
+    monitor, events = make_monitor(napi, ni_th=10)
+    napi.irq()
+    napi.poll(8, MODE_POLLING)
+    napi.irq()
+    napi.poll(8, MODE_POLLING)
+    assert events["notify"] == 0
+
+
+def test_interrupt_mode_packets_never_notify(napi):
+    monitor, events = make_monitor(napi, ni_th=5)
+    napi.irq()
+    napi.poll(100, MODE_INTERRUPT)
+    assert events["notify"] == 0
+
+
+def test_timer_reports_and_resets(napi):
+    monitor, events = make_monitor(napi)
+    napi.poll(5, MODE_INTERRUPT)
+    napi.poll(7, MODE_POLLING)
+    monitor.on_timer()
+    assert events["reports"] == [(7, 5)]
+    monitor.on_timer()
+    assert events["reports"] == [(7, 5), (0, 0)]
+
+
+def test_detach_unsubscribes(napi):
+    monitor, events = make_monitor(napi)
+    monitor.detach()
+    napi.irq()
+    napi.poll(100, MODE_POLLING)
+    assert monitor.poll_cnt == 0
+    assert events["notify"] == 0
+
+
+def test_invalid_threshold(napi):
+    with pytest.raises(ValueError):
+        make_monitor(napi, ni_th=0)

@@ -1,0 +1,94 @@
+"""Threshold profiling (Sec. 4.2's procedure)."""
+
+import pytest
+
+from repro.core.profiling import (OnlineReprofiler, ThresholdProfiler,
+                                  profile_thresholds)
+from repro.netstack.napi import MODE_INTERRUPT, MODE_POLLING
+
+
+class FakeNapi:
+    def __init__(self):
+        self.poll_listeners = []
+        self.irq_listeners = []
+
+    def irq(self):
+        for listener in self.irq_listeners:
+            listener(self)
+
+    def poll(self, n, mode):
+        for listener in self.poll_listeners:
+            listener(self, n, mode)
+
+
+def test_per_interrupt_polling_max():
+    napi = FakeNapi()
+    profiler = ThresholdProfiler(napi, n_interrupts=10)
+    napi.irq()
+    napi.poll(3, MODE_POLLING)
+    napi.irq()                    # closes interval with 3
+    napi.poll(9, MODE_POLLING)
+    napi.irq()                    # closes interval with 9
+    assert profiler.ni_threshold() == 9.0
+
+
+def test_cu_threshold_is_total_ratio():
+    napi = FakeNapi()
+    profiler = ThresholdProfiler(napi)
+    napi.poll(10, MODE_INTERRUPT)
+    napi.poll(25, MODE_POLLING)
+    assert profiler.cu_threshold() == 2.5
+
+
+def test_no_traffic_returns_none():
+    napi = FakeNapi()
+    profiler = ThresholdProfiler(napi)
+    assert profiler.ni_threshold() is None
+    assert profiler.cu_threshold() is None
+
+
+def test_window_caps_interrupt_count():
+    napi = FakeNapi()
+    profiler = ThresholdProfiler(napi, n_interrupts=2)
+    for n in (1, 2, 50):
+        napi.irq()
+        napi.poll(n, MODE_POLLING)
+    napi.irq()
+    # Only the first 2 completed intervals count: max(1, 2) == 2... but
+    # intervals are [1, 2] after the window closes.
+    assert profiler.ni_threshold() == 2.0
+
+
+def test_detach():
+    napi = FakeNapi()
+    profiler = ThresholdProfiler(napi)
+    profiler.detach()
+    napi.poll(10, MODE_POLLING)
+    assert profiler.total_poll == 0
+
+
+def test_online_reprofiler():
+    napi = FakeNapi()
+    reprofiler = OnlineReprofiler(napi)
+    assert reprofiler.thresholds() is None
+    napi.irq()
+    napi.poll(5, MODE_POLLING)
+    napi.poll(4, MODE_INTERRUPT)
+    napi.irq()
+    th = reprofiler.thresholds()
+    assert th is not None
+    assert th.ni_th == 5.0
+    assert th.cu_th == pytest.approx(5 / 4)
+
+
+@pytest.mark.slow
+def test_profile_thresholds_end_to_end():
+    th = profile_thresholds("memcached", "high", n_cores=1, seed=11,
+                            n_periods=1)
+    assert th.ni_th >= 1.0
+    assert th.cu_th > 0
+
+
+def test_invalid_window():
+    with pytest.raises(ValueError):
+        ThresholdProfiler(FakeNapi(), n_interrupts=0)

@@ -1,0 +1,63 @@
+"""Mode-aware sleep-state integration."""
+
+import pytest
+
+from repro.core.decision import MODE_CPU_UTIL, MODE_NET_INTENSIVE
+from repro.core.sleep_integration import ModeAwareIdleGovernor
+from repro.governors.cpuidle import C6OnlyIdleGovernor
+
+
+class FakeEngine:
+    def __init__(self, mode):
+        self.mode = mode
+
+
+class FakeCore:
+    def __init__(self, cstates, core_id=0):
+        self.cstates = cstates
+        self.core_id = core_id
+
+
+@pytest.fixture
+def fake_core(core):
+    return FakeCore(core.cstates)
+
+
+def test_caps_depth_in_network_intensive_mode(fake_core):
+    gov = ModeAwareIdleGovernor(fallback=C6OnlyIdleGovernor())
+    gov.register_engine(0, FakeEngine(MODE_NET_INTENSIVE))
+    assert gov.select(fake_core).name == "CC1"
+    assert gov.capped_selections == 1
+
+
+def test_full_depth_in_cpu_util_mode(fake_core):
+    gov = ModeAwareIdleGovernor(fallback=C6OnlyIdleGovernor())
+    gov.register_engine(0, FakeEngine(MODE_CPU_UTIL))
+    assert gov.select(fake_core).name == "CC6"
+
+
+def test_unregistered_core_uses_fallback(fake_core):
+    gov = ModeAwareIdleGovernor(fallback=C6OnlyIdleGovernor())
+    assert gov.select(fake_core).name == "CC6"
+
+
+def test_shallow_fallback_choice_is_not_deepened(fake_core):
+    class CC0Governor(C6OnlyIdleGovernor):
+        def select(self, core, idle_elapsed_ns=0):
+            return core.cstates.cc0
+
+    gov = ModeAwareIdleGovernor(fallback=CC0Governor())
+    gov.register_engine(0, FakeEngine(MODE_NET_INTENSIVE))
+    assert gov.select(fake_core).name == "CC0"
+
+
+def test_on_idle_end_forwards_to_fallback(fake_core):
+    calls = []
+
+    class Recorder(C6OnlyIdleGovernor):
+        def on_idle_end(self, core, idle_duration_ns):
+            calls.append(idle_duration_ns)
+
+    gov = ModeAwareIdleGovernor(fallback=Recorder())
+    gov.on_idle_end(fake_core, 123)
+    assert calls == [123]

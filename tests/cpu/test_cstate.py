@@ -1,0 +1,61 @@
+"""C-state table invariants."""
+
+import random
+
+import pytest
+
+from repro.cpu.cstate import CState, CStateTable
+
+
+def test_default_table_shape():
+    table = CStateTable.default()
+    assert [s.name for s in table] == ["CC0", "CC1", "CC6"]
+    assert table.deepest.name == "CC6"
+    assert table.deepest.flushes_caches
+    assert table[1].voltage_scaled and not table[2].voltage_scaled
+
+
+def test_exit_latency_increases_with_depth():
+    table = CStateTable.default()
+    latencies = [s.exit_latency_ns for s in table]
+    assert latencies == sorted(latencies)
+
+
+def test_deepest_within_respects_residency():
+    table = CStateTable.default()
+    assert table.deepest_within(0).name == "CC0"
+    assert table.deepest_within(5_000).name == "CC1"
+    assert table.deepest_within(300_000).name == "CC6"
+
+
+def test_by_name():
+    table = CStateTable.default()
+    assert table.by_name("CC6").index == 2
+    with pytest.raises(KeyError):
+        table.by_name("CC3")
+
+
+def test_sample_exit_latency_noise_free_without_rng():
+    table = CStateTable.default()
+    cc6 = table.by_name("CC6")
+    assert table.sample_exit_latency(cc6) == cc6.exit_latency_ns
+
+
+def test_sample_exit_latency_with_noise_is_nonnegative():
+    table = CStateTable.default()
+    cc1 = table.by_name("CC1")
+    rng = random.Random(3)
+    for _ in range(200):
+        assert table.sample_exit_latency(cc1, rng) >= 0
+
+
+def test_invalid_tables_rejected():
+    cc0 = CState("CC0", 0, 0, 0, 0, 1.0)
+    with pytest.raises(ValueError):
+        CStateTable([])
+    with pytest.raises(ValueError):
+        CStateTable([CState("CC1", 1, 10, 0, 10, 1.0)])  # must start at CC0
+    with pytest.raises(ValueError):
+        # Exit latency decreasing with depth.
+        CStateTable([cc0, CState("CC1", 1, 100, 0, 10, 1.0),
+                     CState("CC6", 2, 50, 0, 10, 0.2)])

@@ -1,0 +1,60 @@
+"""Processor profiles (Tables 1 & 2 parameterization)."""
+
+import pytest
+
+from repro.cpu.dvfs import FULL_UP, SMALL_DOWN_HIGH
+from repro.cpu.profiles import (PROCESSOR_PROFILES, XEON_GOLD_6134)
+from repro.units import GHZ, US
+
+
+def test_all_four_processors_present():
+    assert set(PROCESSOR_PROFILES) == {"i7-6700", "i7-7700", "E5-2620v4",
+                                       "Gold-6134"}
+
+
+def test_gold_6134_matches_testbed():
+    p = XEON_GOLD_6134
+    assert p.n_cores == 8
+    assert p.n_pstates == 16
+    table = p.pstate_table()
+    assert table.p0.freq_hz == pytest.approx(3.2 * GHZ)
+    assert table.pmin.freq_hz == pytest.approx(1.2 * GHZ)
+
+
+def test_table1_values_desktop_vs_server():
+    desktop = PROCESSOR_PROFILES["i7-6700"]
+    server = PROCESSOR_PROFILES["Gold-6134"]
+    d_mean = desktop.retransition_ns[SMALL_DOWN_HIGH][0]
+    s_mean = server.retransition_ns[SMALL_DOWN_HIGH][0]
+    assert 20 * US < d_mean < 60 * US
+    assert s_mean > 400 * US
+
+
+def test_table2_wake_values():
+    for profile in PROCESSOR_PROFILES.values():
+        cc6_mean, _ = profile.cc6_wake_ns
+        cc1_mean, _ = profile.cc1_wake_ns
+        assert 25 * US < cc6_mean < 30 * US
+        assert cc1_mean < 1 * US
+
+
+def test_profile_builds_consistent_models():
+    for profile in PROCESSOR_PROFILES.values():
+        table = profile.pstate_table()
+        model = profile.transition_model()
+        assert model.n_states == len(table)
+        cstates = profile.cstate_table()
+        assert cstates.by_name("CC6").exit_latency_ns == \
+            int(profile.cc6_wake_ns[0])
+
+
+def test_cache_refill_penalty_tracks_l2_size():
+    # Gold 6134 (1MB L2) flushes cost more than E5-2620v4 (256KB L2).
+    assert PROCESSOR_PROFILES["Gold-6134"].cache_refill_penalty_ns \
+        > PROCESSOR_PROFILES["E5-2620v4"].cache_refill_penalty_ns
+
+
+def test_full_up_slowest_on_desktops():
+    for name in ("i7-6700", "i7-7700"):
+        table = PROCESSOR_PROFILES[name].retransition_ns
+        assert table[FULL_UP][0] == max(mean for mean, _ in table.values())

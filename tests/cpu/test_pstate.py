@@ -1,0 +1,71 @@
+"""P-state table invariants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cpu.pstate import PState, PStateTable
+from repro.units import GHZ
+
+
+def test_linear_table_endpoints(pstates):
+    assert pstates.p0.freq_hz == pytest.approx(3.2 * GHZ)
+    assert pstates.pmin.freq_hz == pytest.approx(1.2 * GHZ)
+    assert len(pstates) == 16
+    assert pstates.max_index == 15
+
+
+def test_frequencies_strictly_decreasing(pstates):
+    freqs = [st.freq_hz for st in pstates]
+    assert freqs == sorted(freqs, reverse=True)
+    assert len(set(freqs)) == len(freqs)
+
+
+def test_voltage_decreases_with_index(pstates):
+    volts = [st.voltage for st in pstates]
+    assert volts == sorted(volts, reverse=True)
+
+
+def test_clamp(pstates):
+    assert pstates.clamp(-3) == 0
+    assert pstates.clamp(99) == 15
+    assert pstates.clamp(7) == 7
+
+
+def test_index_for_frequency_picks_slowest_sufficient(pstates):
+    # Exactly Pmin's frequency -> Pmin.
+    assert pstates.index_for_frequency(1.2 * GHZ) == 15
+    # Slightly above Pmin -> one state faster.
+    assert pstates.index_for_frequency(1.21 * GHZ) == 14
+    # Anything above P0 -> P0.
+    assert pstates.index_for_frequency(9 * GHZ) == 0
+
+
+def test_invalid_tables_rejected():
+    with pytest.raises(ValueError):
+        PStateTable([])
+    with pytest.raises(ValueError):
+        PStateTable.linear(2 * GHZ, 1 * GHZ, 4)
+    with pytest.raises(ValueError):
+        PStateTable.linear(1 * GHZ, 2 * GHZ, 1)
+    with pytest.raises(ValueError):
+        PStateTable([PState(1, 2 * GHZ, 1.0)])  # index mismatch
+
+
+def test_pstate_validation():
+    with pytest.raises(ValueError):
+        PState(0, -1, 1.0)
+    with pytest.raises(ValueError):
+        PState(0, 1 * GHZ, 0)
+
+
+@given(st.floats(min_value=0.1e9, max_value=5e9))
+def test_index_for_frequency_satisfies_request_when_possible(freq):
+    table = PStateTable.linear(1.2 * GHZ, 3.2 * GHZ, 16)
+    idx = table.index_for_frequency(freq)
+    if freq <= table.p0.freq_hz:
+        assert table.freq_of(idx) >= freq - 1e-6
+    else:
+        assert idx == 0
+    if idx < table.max_index:
+        # The next slower state would not satisfy the request.
+        assert table.freq_of(idx + 1) < freq or idx == 0

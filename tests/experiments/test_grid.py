@@ -1,0 +1,44 @@
+"""Grid helpers shared by Figs. 12-15."""
+
+import pytest
+
+from repro.experiments.base import ExperimentScale
+from repro.experiments.grid import (baseline_energy, run_cell, run_grid)
+from repro.experiments.runner import clear_cache
+from repro.units import MS
+
+TINY = ExperimentScale("tiny", n_cores=1, duration_ns=30 * MS, seed=5)
+
+
+def test_run_cell_returns_run_result():
+    clear_cache()
+    result = run_cell("memcached", "low", "performance", "menu", TINY)
+    assert result.completed > 0
+    clear_cache()
+
+
+def test_run_grid_covers_all_combinations():
+    clear_cache()
+    results = run_grid(("performance",), ("menu", "disable"), TINY,
+                       apps=("memcached",), levels=("low",))
+    assert set(results) == {("memcached", "low", "performance", "menu"),
+                            ("memcached", "low", "performance", "disable")}
+    clear_cache()
+
+
+def test_baseline_energy_requires_perf_menu_cell():
+    clear_cache()
+    results = run_grid(("performance",), ("menu",), TINY,
+                       apps=("memcached",), levels=("low",))
+    assert baseline_energy(results, "memcached", "low") > 0
+    with pytest.raises(KeyError):
+        baseline_energy(results, "nginx", "low")
+    clear_cache()
+
+
+def test_grid_reuses_cache():
+    clear_cache()
+    a = run_cell("memcached", "low", "performance", "menu", TINY)
+    b = run_cell("memcached", "low", "performance", "menu", TINY)
+    assert a is b
+    clear_cache()

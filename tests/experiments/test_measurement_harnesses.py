@@ -1,0 +1,45 @@
+"""Direct tests of the Table 1/2 measurement functions."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.tab01_retransition import measure_retransition
+from repro.experiments.tab02_wakeup import measure_wakeup
+from repro.cpu.profiles import PROCESSOR_PROFILES
+from repro.units import US
+
+
+def test_retransition_measurement_matches_profile():
+    profile = PROCESSOR_PROFILES["Gold-6134"]
+    samples = measure_retransition("Gold-6134", 0, 1, n_reps=50)
+    expected = profile.retransition_ns["small_down_high"][0]
+    assert samples.mean() == pytest.approx(expected, rel=0.05)
+    assert samples.std() < 20 * US
+
+
+def test_retransition_desktop_vs_server_gap():
+    desktop = measure_retransition("i7-6700", 13, 0, n_reps=30)
+    server = measure_retransition("Gold-6134", 15, 0, n_reps=30)
+    assert server.mean() > 8 * desktop.mean()
+
+
+def test_wakeup_measurement_cc6():
+    profile = PROCESSOR_PROFILES["E5-2620v4"]
+    samples = measure_wakeup("E5-2620v4", "CC6", n_reps=40)
+    assert samples.mean() == pytest.approx(profile.cc6_wake_ns[0], rel=0.2)
+
+
+def test_wakeup_measurement_cc1_is_submicrosecond():
+    samples = measure_wakeup("i7-7700", "CC1", n_reps=40)
+    assert samples.mean() < 1 * US
+
+
+def test_wakeup_samples_nonnegative():
+    samples = measure_wakeup("Gold-6134", "CC1", n_reps=60)
+    assert (samples >= 0).all()
+
+
+def test_retransition_measurement_is_deterministic_per_seed():
+    a = measure_retransition("i7-6700", 0, 1, n_reps=20, seed=5)
+    b = measure_retransition("i7-6700", 0, 1, n_reps=20, seed=5)
+    assert np.array_equal(a, b)

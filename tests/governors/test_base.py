@@ -1,0 +1,75 @@
+"""Governor base-class machinery."""
+
+import pytest
+
+from repro.cpu.core import PRIORITY_TASK, Work
+from repro.cpu.topology import Processor
+from repro.governors.base import FreqGovernor, UtilGovernorBase
+from repro.units import MS
+
+
+@pytest.fixture
+def proc(sim):
+    return Processor(sim, n_cores=1)
+
+
+class FixedGovernor(UtilGovernorBase):
+    """Always decides the same index (measurement-path testing)."""
+
+    def __init__(self, sim, proc, cid, index=5, **kw):
+        super().__init__(sim, proc, cid, **kw)
+        self.index = index
+        self.decisions = 0
+
+    def decide(self, utilization):
+        self.decisions += 1
+        return self.index
+
+
+def test_request_routes_through_processor(sim, proc):
+    gov = FreqGovernor(sim, proc, 0)
+    gov.request(7)
+    sim.run_until(1 * MS)
+    assert proc.cores[0].pstate_index == 7
+
+
+def test_measure_utilization_reflects_busy_fraction(sim, proc):
+    core = proc.cores[0]
+    gov = FixedGovernor(sim, proc, 0)
+    gov.start()
+    # 5 ms of work in a 10 ms window at P0.
+    core.submit(Work(0.005 * core.frequency_hz, PRIORITY_TASK))
+    sim.run_until(10 * MS + 1)
+    assert gov.last_utilization == pytest.approx(0.5, abs=0.01)
+
+
+def test_measure_utilization_zero_elapsed_returns_last(sim, proc):
+    gov = FixedGovernor(sim, proc, 0)
+    gov.start()
+    sim.run_until(10 * MS)
+    first = gov.measure_utilization()
+    again = gov.measure_utilization()  # same instant
+    assert again == first
+
+
+def test_sampling_counts_and_decisions(sim, proc):
+    gov = FixedGovernor(sim, proc, 0)
+    gov.start()
+    sim.run_until(35 * MS)
+    assert gov.samples == 3
+    assert gov.decisions == 3
+
+
+def test_resume_without_start_does_not_decide(sim, proc):
+    gov = FixedGovernor(sim, proc, 0)
+    gov.suspend()
+    gov.resume(enforce=True)  # not started: no request issued
+    sim.run_until(1 * MS)
+    assert proc.cores[0].pstate_index == 0
+
+
+def test_utilization_clamped_to_unit_interval(sim, proc):
+    gov = FixedGovernor(sim, proc, 0)
+    gov.start()
+    sim.run_until(20 * MS)
+    assert 0.0 <= gov.measure_utilization() <= 1.0

@@ -1,0 +1,97 @@
+"""cpuidle governors: menu prediction, disable, c6only."""
+
+import pytest
+
+from repro.governors.cpuidle import (C6OnlyIdleGovernor, DisableIdleGovernor,
+                                     MenuIdleGovernor)
+from repro.governors.registry import make_idle_governor
+from repro.units import MS, US
+
+
+class FakeCore:
+    def __init__(self, cstates, core_id=0):
+        self.cstates = cstates
+        self.core_id = core_id
+
+
+@pytest.fixture
+def fake_core(core):
+    return FakeCore(core.cstates)
+
+
+def test_disable_always_cc0(fake_core):
+    gov = DisableIdleGovernor()
+    assert gov.select(fake_core).name == "CC0"
+
+
+def test_c6only_always_deepest(fake_core):
+    gov = C6OnlyIdleGovernor()
+    assert gov.select(fake_core).name == "CC6"
+
+
+def test_menu_initial_prediction_selects_deep(fake_core):
+    gov = MenuIdleGovernor(initial_prediction_ns=500 * US)
+    assert gov.select(fake_core).name == "CC6"
+
+
+def test_menu_learns_short_idles(fake_core):
+    gov = MenuIdleGovernor(alpha=0.5)
+    for _ in range(10):
+        gov.on_idle_end(fake_core, 5 * US)
+    assert gov.select(fake_core).name == "CC1"
+
+
+def test_menu_learns_very_short_idles(fake_core):
+    gov = MenuIdleGovernor(alpha=0.5)
+    for _ in range(12):
+        gov.on_idle_end(fake_core, 500)  # 0.5 µs: below CC1 residency
+    assert gov.select(fake_core).name == "CC0"
+
+
+def test_menu_recovers_toward_deep_after_long_idles(fake_core):
+    gov = MenuIdleGovernor(alpha=0.3)
+    for _ in range(10):
+        gov.on_idle_end(fake_core, 5 * US)
+    for _ in range(10):
+        gov.on_idle_end(fake_core, 50 * MS)
+    assert gov.select(fake_core).name == "CC6"
+
+
+def test_menu_reselection_deepens_on_overrun(fake_core):
+    gov = MenuIdleGovernor(alpha=0.5)
+    for _ in range(10):
+        gov.on_idle_end(fake_core, 5 * US)
+    assert gov.select(fake_core).name == "CC1"
+    # Tick re-selection: the idle has already lasted 4 ms.
+    assert gov.select(fake_core, idle_elapsed_ns=4 * MS).name == "CC6"
+
+
+def test_menu_tracks_cores_independently(core):
+    gov = MenuIdleGovernor(alpha=1.0)
+    a, b = FakeCore(core.cstates, 0), FakeCore(core.cstates, 1)
+    gov.on_idle_end(a, 5 * US)
+    gov.on_idle_end(b, 10 * MS)
+    assert gov.select(a).name == "CC1"
+    assert gov.select(b).name == "CC6"
+
+
+def test_menu_selection_counters(fake_core):
+    gov = MenuIdleGovernor()
+    gov.select(fake_core)
+    gov.select(fake_core)
+    assert sum(gov.selections.values()) == 2
+
+
+def test_registry_builds_by_name():
+    assert make_idle_governor("menu").name == "menu"
+    assert make_idle_governor("disable").name == "disable"
+    assert make_idle_governor("c6only").name == "c6only"
+    with pytest.raises(ValueError):
+        make_idle_governor("nonexistent")
+
+
+def test_menu_validation():
+    with pytest.raises(ValueError):
+        MenuIdleGovernor(alpha=0)
+    with pytest.raises(ValueError):
+        MenuIdleGovernor(correction=0)

@@ -1,0 +1,31 @@
+"""Frequency-governor registry."""
+
+import pytest
+
+from repro.cpu.topology import Processor
+from repro.governors.registry import FREQ_GOVERNORS, make_freq_governor
+
+
+def test_all_cpufreq_governors_registered():
+    assert set(FREQ_GOVERNORS) == {
+        "performance", "powersave", "userspace", "ondemand",
+        "conservative", "intel_powersave"}
+
+
+def test_make_by_name(sim):
+    proc = Processor(sim, n_cores=1)
+    gov = make_freq_governor("ondemand", sim, proc, 0)
+    assert gov.name == "ondemand"
+    assert gov.core is proc.cores[0]
+
+
+def test_make_with_params(sim):
+    proc = Processor(sim, n_cores=1)
+    gov = make_freq_governor("ondemand", sim, proc, 0, up_threshold=0.8)
+    assert gov.up_threshold == 0.8
+
+
+def test_unknown_name_rejected(sim):
+    proc = Processor(sim, n_cores=1)
+    with pytest.raises(ValueError):
+        make_freq_governor("turbo", sim, proc, 0)

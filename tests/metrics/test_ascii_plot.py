@@ -1,0 +1,68 @@
+"""ASCII plotting helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.ascii_plot import BARS, mark_plot, sparkline, step_plot
+
+
+def test_sparkline_extremes():
+    line = sparkline([0, 5, 10])
+    assert line[0] == BARS[0]
+    assert line[-1] == BARS[-1]
+    assert len(line) == 3
+
+
+def test_sparkline_constant_series():
+    assert sparkline([3, 3, 3]) == BARS[0] * 3
+
+
+def test_sparkline_empty():
+    assert sparkline([]) == ""
+
+
+def test_sparkline_explicit_bounds_clip():
+    line = sparkline([100.0], lo=0.0, hi=10.0)
+    assert line == BARS[-1]
+
+
+def test_step_plot_shape():
+    text = step_plot([1, 2, 3, 4], height=4, label="demo")
+    lines = text.splitlines()
+    assert lines[0].startswith("demo")
+    assert len(lines) == 5
+    assert all(len(line) == 4 for line in lines[1:])
+    # The max value fills the full column; the min only the bottom row.
+    assert lines[1][3] == "#"
+    assert lines[1][0] == " "
+
+
+def test_step_plot_validation():
+    with pytest.raises(ValueError):
+        step_plot([1, 2], height=1)
+
+
+def test_mark_plot_positions():
+    line = mark_plot([0, 50, 99.9], horizon=100, width=10)
+    assert line[0] == "^"
+    assert line[5] == "^"
+    assert line[9] == "^"
+    assert line.count("^") == 3
+
+
+def test_mark_plot_out_of_range_ignored():
+    line = mark_plot([-1, 150], horizon=100, width=10)
+    assert line == " " * 10
+
+
+def test_mark_plot_validation():
+    with pytest.raises(ValueError):
+        mark_plot([1], horizon=0)
+    with pytest.raises(ValueError):
+        mark_plot([1], horizon=10, width=0)
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False), min_size=1, max_size=200))
+def test_sparkline_length_property(values):
+    assert len(sparkline(values)) == len(values)

@@ -1,0 +1,52 @@
+"""Energy summaries and table rendering."""
+
+import pytest
+
+from repro.metrics.energy import EnergySummary, normalize_energy
+from repro.metrics.report import format_table
+
+
+def test_energy_summary_derivations():
+    summary = EnergySummary(package_j=10.0, cores_j=6.0, duration_s=2.0)
+    assert summary.uncore_j == pytest.approx(4.0)
+    assert summary.average_power_w == pytest.approx(5.0)
+    assert "5.0W" in summary.describe()
+
+
+def test_energy_summary_zero_duration_rejected():
+    summary = EnergySummary(package_j=1.0, cores_j=0.5, duration_s=0.0)
+    with pytest.raises(ValueError):
+        summary.average_power_w
+
+
+def test_normalize_energy():
+    out = normalize_energy({"perf": 10.0, "nmap": 7.0}, baseline="perf")
+    assert out == {"perf": 1.0, "nmap": 0.7}
+
+
+def test_normalize_energy_validation():
+    with pytest.raises(KeyError):
+        normalize_energy({"a": 1.0}, baseline="b")
+    with pytest.raises(ValueError):
+        normalize_energy({"a": 0.0}, baseline="a")
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "value"],
+                        [["nmap", 0.4321], ["performance", 1.0]],
+                        title="demo")
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert lines[1].startswith("name")
+    assert "performance" in lines[4]
+
+
+def test_format_table_row_width_mismatch():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
+
+
+def test_format_table_float_formatting():
+    text = format_table(["x"], [[0.000123], [1234.5], [0.5], [0]])
+    assert "0.000123" in text
+    assert "0.500" in text

@@ -1,0 +1,66 @@
+"""Latency metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.latency import (LatencyStats, cdf_points, fraction_over,
+                                   percentile_ns)
+
+
+def test_percentile_basic():
+    lat = np.arange(1, 101)
+    assert percentile_ns(lat, 50) == pytest.approx(50.5)
+    assert percentile_ns(lat, 99) == pytest.approx(99.01)
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile_ns(np.array([]), 99)
+    with pytest.raises(ValueError):
+        percentile_ns(np.array([1]), 150)
+
+
+def test_fraction_over():
+    lat = np.array([1, 2, 3, 4, 5])
+    assert fraction_over(lat, 3) == pytest.approx(0.4)
+    assert fraction_over(lat, 0) == 1.0
+    assert fraction_over(lat, 10) == 0.0
+
+
+def test_cdf_points_monotonic():
+    lat = np.random.default_rng(0).exponential(1000, size=500)
+    x, y = cdf_points(lat, n_points=50)
+    assert (np.diff(x) >= 0).all()
+    assert (np.diff(y) >= 0).all()
+    assert y[-1] == pytest.approx(1.0)
+
+
+def test_cdf_small_sample():
+    x, y = cdf_points(np.array([5.0, 1.0, 3.0]), n_points=100)
+    assert x.tolist() == [1.0, 3.0, 5.0]
+
+
+def test_latency_stats_summary():
+    stats = LatencyStats.from_sample(np.arange(1, 1001))
+    assert stats.count == 1000
+    assert stats.mean_ns == pytest.approx(500.5)
+    assert stats.max_ns == 1000
+    assert "p99" in stats.describe()
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1,
+                max_size=500))
+def test_percentile_bounds_property(latencies):
+    lat = np.array(latencies)
+    p99 = percentile_ns(lat, 99)
+    assert lat.min() <= p99 <= lat.max()
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=1,
+                max_size=300),
+       st.integers(min_value=0, max_value=10**6))
+def test_fraction_over_matches_definition(latencies, threshold):
+    lat = np.array(latencies)
+    frac = fraction_over(lat, threshold)
+    assert frac == pytest.approx(np.mean(lat > threshold))

@@ -1,0 +1,50 @@
+"""SLO checks and inflection-point detection."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.slo import check_slo, find_inflection_load
+from repro.units import MS
+
+
+def test_check_slo_satisfied():
+    lat = np.full(1000, 0.5 * MS)
+    result = check_slo(lat, 1 * MS)
+    assert result.satisfied
+    assert result.normalized_p99 == pytest.approx(0.5)
+    assert result.violation_fraction == 0.0
+
+
+def test_check_slo_violated():
+    lat = np.concatenate([np.full(90, 0.1 * MS), np.full(10, 5 * MS)])
+    result = check_slo(lat, 1 * MS)
+    assert not result.satisfied
+    assert result.violation_fraction == pytest.approx(0.1)
+
+
+def test_check_slo_validation():
+    with pytest.raises(ValueError):
+        check_slo(np.array([1.0]), 0)
+
+
+def test_inflection_point_on_hockey_stick():
+    loads = [10, 20, 30, 40, 50, 60]
+    p99s = [100, 105, 110, 120, 400, 5000]
+    assert find_inflection_load(loads, p99s) == 40
+
+
+def test_inflection_point_unsorted_input():
+    loads = [60, 10, 40, 20, 50, 30]
+    p99s = [5000, 100, 120, 105, 400, 110]
+    assert find_inflection_load(loads, p99s) == 40
+
+
+def test_inflection_flat_curve_returns_max_load():
+    assert find_inflection_load([1, 2, 3], [10, 11, 10]) == 3
+
+
+def test_inflection_validation():
+    with pytest.raises(ValueError):
+        find_inflection_load([1], [10])
+    with pytest.raises(ValueError):
+        find_inflection_load([1, 2], [10])

@@ -1,0 +1,62 @@
+"""Time-series binning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.timeseries import bin_counts, bin_last_value
+from repro.units import MS
+
+
+def test_bin_counts_unweighted():
+    times = np.array([0, 100, 1_500_000, 1_600_000, 2_100_000])
+    bins, sums = bin_counts(times, 3 * MS, 1 * MS)
+    assert bins.tolist() == [0, 1 * MS, 2 * MS]
+    assert sums.tolist() == [2, 2, 1]
+
+
+def test_bin_counts_weighted():
+    times = np.array([0, 1_500_000])
+    weights = np.array([10.0, 5.0])
+    _, sums = bin_counts(times, 2 * MS, 1 * MS, weights=weights)
+    assert sums.tolist() == [10.0, 5.0]
+
+
+def test_bin_counts_empty():
+    _, sums = bin_counts(np.array([], dtype=np.int64), 2 * MS)
+    assert sums.tolist() == [0, 0]
+
+
+def test_bin_last_value_step_signal():
+    times = np.array([500_000, 2_500_000])
+    values = np.array([7.0, 3.0])
+    _, out = bin_last_value(times, values, 4 * MS, 1 * MS, initial=15.0)
+    assert out.tolist() == [7.0, 7.0, 3.0, 3.0]
+
+
+def test_bin_last_value_no_events_uses_initial():
+    _, out = bin_last_value(np.array([], dtype=np.int64), np.array([]),
+                            2 * MS, 1 * MS, initial=9.0)
+    assert out.tolist() == [9.0, 9.0]
+
+
+def test_bin_last_value_unsorted_events():
+    times = np.array([2_500_000, 500_000])
+    values = np.array([3.0, 7.0])
+    _, out = bin_last_value(times, values, 3 * MS, 1 * MS)
+    assert out.tolist() == [7.0, 7.0, 3.0]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        bin_counts(np.array([1]), 0)
+    with pytest.raises(ValueError):
+        bin_last_value(np.array([1]), np.array([1.0]), 10, 0)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10 * MS - 1),
+                min_size=0, max_size=200))
+def test_bin_counts_conserves_total(times):
+    arr = np.array(sorted(times), dtype=np.int64)
+    _, sums = bin_counts(arr, 10 * MS, 1 * MS)
+    assert sums.sum() == len(times)

@@ -1,0 +1,41 @@
+"""Interrupt moderation."""
+
+import pytest
+
+from repro.nic.interrupt import InterruptModerator
+from repro.units import US
+
+
+def test_first_fire_is_immediate():
+    mod = InterruptModerator(10 * US)
+    assert mod.next_fire_time(123) == 123
+
+
+def test_minimum_gap_enforced():
+    mod = InterruptModerator(10 * US)
+    mod.record_fire(100)
+    assert mod.next_fire_time(101) == 100 + 10 * US
+
+
+def test_gap_elapsed_allows_immediate_fire():
+    mod = InterruptModerator(10 * US)
+    mod.record_fire(100)
+    assert mod.next_fire_time(100 + 20 * US) == 100 + 20 * US
+
+
+def test_fire_counter():
+    mod = InterruptModerator()
+    mod.record_fire(0)
+    mod.record_fire(20_000)
+    assert mod.fired == 2
+
+
+def test_zero_gap_means_no_moderation():
+    mod = InterruptModerator(0)
+    mod.record_fire(100)
+    assert mod.next_fire_time(100) == 100
+
+
+def test_negative_gap_rejected():
+    with pytest.raises(ValueError):
+        InterruptModerator(-1)

@@ -1,0 +1,60 @@
+"""NIC queue rings."""
+
+import pytest
+
+from repro.nic.packet import Packet, TxCompletion
+from repro.nic.queue import NicQueue
+
+
+def pkt(flow=0):
+    return Packet(flow_id=flow, size_bytes=100, created_ns=0)
+
+
+def test_rx_fifo_order():
+    q = NicQueue(0)
+    a, b = pkt(), pkt()
+    q.push_rx(a)
+    q.push_rx(b)
+    assert q.pop_rx() is a
+    assert q.pop_rx() is b
+    assert q.pop_rx() is None
+
+
+def test_rx_tail_drop_when_full():
+    q = NicQueue(0, rx_capacity=2)
+    assert q.push_rx(pkt())
+    assert q.push_rx(pkt())
+    assert not q.push_rx(pkt())
+    assert q.rx_dropped == 1
+    assert q.rx_enqueued == 2
+
+
+def test_txc_ring():
+    q = NicQueue(0)
+    q.push_txc(TxCompletion(1))
+    q.push_txc(TxCompletion(2))
+    assert q.pop_txc().packet_id == 1
+    assert q.pop_txc().packet_id == 2
+    assert q.pop_txc() is None
+
+
+def test_has_work_reflects_both_rings():
+    q = NicQueue(0)
+    assert not q.has_work
+    q.push_rx(pkt())
+    assert q.has_work
+    q.pop_rx()
+    q.push_txc(TxCompletion(7))
+    assert q.has_work
+
+
+def test_rx_depth():
+    q = NicQueue(0)
+    q.push_rx(pkt())
+    q.push_rx(pkt())
+    assert q.rx_depth == 2
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        NicQueue(0, rx_capacity=0)

@@ -1,0 +1,39 @@
+"""Random streams: determinism and independence."""
+
+from repro.sim.rng import RandomStreams
+
+
+def test_same_seed_same_stream():
+    a = RandomStreams(7).stream("client")
+    b = RandomStreams(7).stream("client")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_different_names_differ():
+    streams = RandomStreams(7)
+    a = streams.stream("client")
+    b = streams.stream("core0")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_different_seeds_differ():
+    a = RandomStreams(1).stream("x")
+    b = RandomStreams(2).stream("x")
+    assert a.random() != b.random()
+
+
+def test_stream_is_cached():
+    streams = RandomStreams(7)
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_numpy_stream_deterministic():
+    a = RandomStreams(7).numpy_stream("load")
+    b = RandomStreams(7).numpy_stream("load")
+    assert (a.random(8) == b.random(8)).all()
+
+
+def test_spawn_is_independent_of_parent():
+    parent = RandomStreams(7)
+    child = parent.spawn("worker")
+    assert parent.stream("x").random() != child.stream("x").random()

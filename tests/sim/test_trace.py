@@ -1,0 +1,40 @@
+"""Trace recorder behaviour."""
+
+import numpy as np
+
+from repro.sim.trace import TraceRecorder
+
+
+def test_record_and_read_back():
+    tr = TraceRecorder()
+    tr.record("pstate", 10, 3)
+    tr.record("pstate", 20, 0)
+    assert tr.samples("pstate") == [(10, 3), (20, 0)]
+    assert tr.times("pstate").tolist() == [10, 20]
+    assert tr.values("pstate").tolist() == [3.0, 0.0]
+
+
+def test_disabled_recorder_drops_samples():
+    tr = TraceRecorder(enabled=False)
+    tr.record("x", 1)
+    assert tr.samples("x") == []
+    assert "x" not in tr
+
+
+def test_unknown_channel_is_empty():
+    tr = TraceRecorder()
+    assert tr.samples("nope") == []
+    assert tr.times("nope").size == 0
+
+
+def test_clear():
+    tr = TraceRecorder()
+    tr.record("a", 1, 1)
+    tr.clear()
+    assert list(tr.channels()) == []
+
+
+def test_default_value_is_one():
+    tr = TraceRecorder()
+    tr.record("wake", 5)
+    assert tr.values("wake").tolist() == [1.0]

@@ -1,0 +1,49 @@
+"""The `python -m repro` and `python -m repro.experiments` CLIs."""
+
+import pytest
+
+from repro.__main__ import build_parser, main as repro_main
+from repro.experiments.__main__ import main as experiments_main
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args([])
+    assert args.app == "memcached"
+    assert args.governor == "nmap"
+    assert args.cores == 2
+
+
+def test_run_cli_exits_zero_on_slo_ok(capsys):
+    code = repro_main(["--level", "low", "--governor", "performance",
+                       "--cores", "1", "--duration-ms", "30"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "SLO" in out and "OK" in out
+
+
+def test_run_cli_exits_nonzero_on_violation(capsys):
+    code = repro_main(["--level", "high", "--governor", "powersave",
+                       "--cores", "1", "--duration-ms", "120"])
+    assert code == 1
+    assert "VIOLATED" in capsys.readouterr().out
+
+
+def test_cli_rejects_unknown_governor():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--governor", "quantum"])
+
+
+def test_experiments_cli_rejects_unknown_id():
+    with pytest.raises(SystemExit):
+        experiments_main(["fig99"])
+
+
+@pytest.mark.slow
+def test_experiments_cli_runs_one_artifact(capsys, tmp_path):
+    report = tmp_path / "report.md"
+    code = experiments_main(["tab2", "--markdown", str(report)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "tab2" in out
+    assert report.exists()
+    assert "tab2" in report.read_text()

@@ -1,0 +1,43 @@
+"""Smoke tests: the example scripts run and print what they promise."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout, check=True)
+
+
+@pytest.mark.slow
+def test_quickstart():
+    proc = run_example("quickstart.py", "performance")
+    assert "P99 vs SLO" in proc.stdout
+    assert "OK" in proc.stdout
+
+
+@pytest.mark.slow
+def test_bursty_trace():
+    proc = run_example("bursty_trace.py", "performance")
+    assert "polling pkts" in proc.stdout
+    assert "frequency" in proc.stdout
+
+
+@pytest.mark.slow
+def test_sleep_states():
+    proc = run_example("sleep_states.py", "low")
+    assert "sleep policy" in proc.stdout
+    assert "c6only" in proc.stdout
+
+
+@pytest.mark.slow
+def test_changing_load_short():
+    proc = run_example("changing_load.py", "1")
+    assert "parties" in proc.stdout
+    assert "nmap" in proc.stdout

@@ -1,0 +1,41 @@
+"""System integration of the mode-aware sleep extension."""
+
+import pytest
+
+from repro.system import ServerConfig, ServerSystem
+from repro.units import MS
+
+
+def test_nmap_sleep_requires_nmap_family():
+    config = ServerConfig(freq_governor="ondemand",
+                          idle_governor="nmap-sleep")
+    with pytest.raises(ValueError):
+        ServerSystem(config)
+
+
+def test_nmap_sleep_runs_and_meets_slo():
+    config = ServerConfig(app="memcached", load_level="high",
+                          freq_governor="nmap", idle_governor="nmap-sleep",
+                          n_cores=1, seed=6)
+    system = ServerSystem(config)
+    result = system.run(200 * MS)
+    assert result.slo_result().satisfied
+    # Engines were registered for every core.
+    assert set(system.idle_governor.engines) == {0}
+
+
+def test_nmap_sleep_caps_depth_during_bursts():
+    config = ServerConfig(app="memcached", load_level="high",
+                          freq_governor="nmap", idle_governor="nmap-sleep",
+                          n_cores=1, seed=6)
+    system = ServerSystem(config)
+    system.run(200 * MS)
+    assert system.idle_governor.capped_selections > 0
+
+
+def test_nmap_sleep_works_with_adaptive_nmap():
+    config = ServerConfig(app="memcached", load_level="medium",
+                          freq_governor="nmap-adaptive",
+                          idle_governor="nmap-sleep", n_cores=1, seed=6)
+    result = ServerSystem(config).run(150 * MS)
+    assert result.completed == result.sent

@@ -1,0 +1,48 @@
+"""Changing-load generator (Fig. 16)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RandomStreams
+from repro.units import MS, S
+from repro.workload.changing import make_changing_load
+from repro.workload.profiles import MEMCACHED_LEVELS
+
+
+def rng():
+    return RandomStreams(3).numpy_stream("x")
+
+
+def test_segment_count_covers_duration():
+    shape = make_changing_load(MEMCACHED_LEVELS, 3 * S,
+                               switch_period_ns=500 * MS, rng=rng())
+    assert len(shape.segments) == 6
+
+
+def test_consecutive_segments_differ():
+    shape = make_changing_load(MEMCACHED_LEVELS, 10 * S,
+                               switch_period_ns=500 * MS, rng=rng())
+    peaks = [seg.peak_rps for _, seg in shape.segments]
+    assert all(a != b for a, b in zip(peaks, peaks[1:]))
+
+
+def test_deterministic_under_seed():
+    a = make_changing_load(MEMCACHED_LEVELS, 5 * S, rng=rng())
+    b = make_changing_load(MEMCACHED_LEVELS, 5 * S, rng=rng())
+    assert [s.peak_rps for _, s in a.segments] \
+        == [s.peak_rps for _, s in b.segments]
+
+
+def test_rates_come_from_level_shapes():
+    shape = make_changing_load(MEMCACHED_LEVELS, 2 * S,
+                               switch_period_ns=1 * S, rng=rng())
+    level_peaks = {MEMCACHED_LEVELS.level(n).peak_rps_per_core
+                   for n in ("low", "medium", "high")}
+    assert {seg.peak_rps for _, seg in shape.segments} <= level_peaks
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        make_changing_load(MEMCACHED_LEVELS, 0)
+    with pytest.raises(ValueError):
+        make_changing_load(MEMCACHED_LEVELS, 1 * S, level_names=["low"])

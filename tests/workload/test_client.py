@@ -1,0 +1,86 @@
+"""Open-loop client."""
+
+import pytest
+
+from repro.nic.nic import MultiQueueNic
+from repro.nic.packet import Packet
+from repro.nic.rss import RssDistributor
+from repro.sim.rng import RandomStreams
+from repro.units import MS, US
+from repro.workload.client import OpenLoopClient
+from repro.workload.shapes import ConstantLoad
+
+
+@pytest.fixture
+def nic(sim):
+    nic = MultiQueueNic(sim, n_queues=1,
+                        rss=RssDistributor(1, mode="round-robin"),
+                        wire_latency_ns=5 * US)
+    nic.bind(0, lambda q: None)
+    nic.disable_irq(0)  # just collect packets
+    return nic
+
+
+def make_client(sim, nic, rps=10_000, seed=4):
+    return OpenLoopClient(sim, nic, ConstantLoad(rps),
+                          RandomStreams(seed).numpy_stream("client"),
+                          wire_latency_ns=5 * US)
+
+
+def test_sends_expected_count(sim, nic):
+    client = make_client(sim, nic)
+    n = client.start(100 * MS)
+    sim.run_until(200 * MS)
+    assert client.sent == n
+    assert nic.rx_packets == n
+    assert n == pytest.approx(1000, rel=0.2)
+
+
+def test_packets_carry_requests_with_creation_times(sim, nic):
+    client = make_client(sim, nic)
+    client.start(50 * MS)
+    sim.run_until(100 * MS)
+    pkt = nic.queues[0].pop_rx()
+    assert pkt.request is not None
+    # The packet reached the NIC one wire latency after creation.
+    assert pkt.request.created_ns == pkt.created_ns
+
+
+def test_on_response_records_latency(sim, nic):
+    client = make_client(sim, nic)
+    client.start(50 * MS)
+    sim.run_until(100 * MS)
+    pkt = nic.queues[0].pop_rx()
+    sim.run_until(sim.now + 1 * MS)
+    client.on_response(Packet(flow_id=pkt.flow_id, size_bytes=64,
+                              created_ns=sim.now, request=pkt.request))
+    latencies = client.latencies_ns()
+    assert latencies.size == 1
+    assert latencies[0] == sim.now - pkt.request.created_ns
+    assert client.completed == 1
+
+
+def test_response_without_request_is_ignored(sim, nic):
+    client = make_client(sim, nic)
+    client.on_response(Packet(flow_id=0, size_bytes=64, created_ns=0))
+    assert client.completed == 0
+
+
+def test_open_loop_never_blocks_on_responses(sim, nic):
+    client = make_client(sim, nic)
+    client.start(100 * MS)
+    sim.run_until(200 * MS)
+    # No responses were ever sent, yet every request went out.
+    assert client.sent > 0
+    assert client.completed == 0
+
+
+def test_completion_times_align_with_latencies(sim, nic):
+    client = make_client(sim, nic)
+    client.start(20 * MS)
+    sim.run_until(50 * MS)
+    for _ in range(3):
+        pkt = nic.queues[0].pop_rx()
+        client.on_response(Packet(flow_id=0, size_bytes=64,
+                                  created_ns=sim.now, request=pkt.request))
+    assert client.completion_times_ns().size == client.latencies_ns().size

@@ -1,0 +1,39 @@
+"""Flow-count control of the RSS spread."""
+
+import pytest
+
+from repro.system import ServerConfig, ServerSystem
+from repro.units import MS
+from repro.workload.client import OpenLoopClient
+
+
+def split(n_flows, seed=2):
+    config = ServerConfig(app="memcached", load_level="low",
+                          freq_governor="performance", n_cores=2,
+                          seed=seed, n_flows=n_flows)
+    system = ServerSystem(config)
+    system.run(100 * MS)
+    return [w.requests_served for w in system.workers]
+
+
+def test_default_spread_is_near_uniform():
+    counts = split(None)
+    assert min(counts) > 0.4 * sum(counts)
+
+
+def test_few_flows_skew_the_spread():
+    counts = split(5)
+    assert max(counts) > 0.55 * sum(counts)
+
+
+def test_flow_ids_cycle_through_n_flows():
+    config = ServerConfig(app="memcached", load_level="low", n_cores=1,
+                          freq_governor="performance", seed=2, n_flows=3)
+    system = ServerSystem(config)
+    result = system.run(50 * MS)
+    assert result.completed > 0
+
+
+def test_invalid_flow_count():
+    with pytest.raises(ValueError):
+        OpenLoopClient(None, None, None, None, n_flows=0)

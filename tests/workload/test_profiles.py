@@ -1,0 +1,55 @@
+"""Canonical workload profiles."""
+
+import pytest
+
+from repro.workload.profiles import (LEVELS, MEMCACHED_LEVELS, NGINX_LEVELS,
+                                     levels_for)
+
+
+def test_levels_exist_for_both_apps():
+    for profile in (MEMCACHED_LEVELS, NGINX_LEVELS):
+        assert set(profile.levels) == set(LEVELS)
+
+
+def test_paper_totals_recorded():
+    assert MEMCACHED_LEVELS.paper_total_rps == {
+        "low": 30_000, "medium": 290_000, "high": 750_000}
+    assert NGINX_LEVELS.paper_total_rps == {
+        "low": 18_000, "medium": 48_000, "high": 56_000}
+
+
+def test_per_core_rates_are_one_eighth_of_paper_totals():
+    for profile in (MEMCACHED_LEVELS, NGINX_LEVELS):
+        for name, total in profile.paper_total_rps.items():
+            assert profile.level(name).mean_rps_per_core \
+                == pytest.approx(total / 8)
+
+
+def test_mean_rates_increase_with_level():
+    for profile in (MEMCACHED_LEVELS, NGINX_LEVELS):
+        means = [profile.level(n).mean_rps_per_core for n in LEVELS]
+        assert means == sorted(means)
+
+
+def test_duty_within_bounds():
+    for profile in (MEMCACHED_LEVELS, NGINX_LEVELS):
+        for name in LEVELS:
+            assert 0 < profile.level(name).duty <= 1
+
+
+def test_shape_mean_matches_level_mean():
+    level = MEMCACHED_LEVELS.level("high")
+    assert level.shape().mean_rps() == pytest.approx(
+        level.mean_rps_per_core, rel=1e-6)
+
+
+def test_unknown_level_and_app_rejected():
+    with pytest.raises(ValueError):
+        MEMCACHED_LEVELS.level("extreme")
+    with pytest.raises(ValueError):
+        levels_for("postgres")
+
+
+def test_levels_for():
+    assert levels_for("memcached") is MEMCACHED_LEVELS
+    assert levels_for("nginx") is NGINX_LEVELS

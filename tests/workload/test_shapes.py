@@ -1,0 +1,127 @@
+"""Load shapes and arrival generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.rng import RandomStreams
+from repro.units import MS, S
+from repro.workload.shapes import (BurstLoad, ConstantLoad, PiecewiseLoad,
+                                   ScaledLoad, generate_arrivals)
+
+
+def rng():
+    return RandomStreams(9).numpy_stream("arrivals")
+
+
+def test_constant_load_rate():
+    shape = ConstantLoad(1000.0)
+    assert shape.rate_at(0) == 1000.0
+    assert shape.mean_rps() == 1000.0
+
+
+def test_constant_load_arrival_count():
+    shape = ConstantLoad(50_000.0)
+    arrivals = generate_arrivals(shape, 1 * S, rng())
+    assert arrivals.size == pytest.approx(50_000, rel=0.05)
+
+
+def test_arrivals_sorted_and_in_range():
+    shape = BurstLoad(peak_rps=100_000, period_ns=100 * MS, duty=0.5)
+    arrivals = generate_arrivals(shape, 300 * MS, rng())
+    assert (np.diff(arrivals) >= 0).all()
+    assert arrivals[0] >= 0 and arrivals[-1] < 300 * MS
+
+
+def test_burst_mean_rate_formula():
+    shape = BurstLoad(peak_rps=100_000, period_ns=100 * MS, duty=0.4,
+                      rise_frac=0.2)
+    assert shape.mean_rps() == pytest.approx(100_000 * 0.4 * 0.8)
+
+
+def test_burst_arrival_count_matches_mean():
+    shape = BurstLoad(peak_rps=100_000, period_ns=100 * MS, duty=0.4)
+    arrivals = generate_arrivals(shape, 1 * S, rng())
+    assert arrivals.size == pytest.approx(shape.mean_rps(), rel=0.05)
+
+
+def test_burst_idle_gap_has_no_arrivals():
+    shape = BurstLoad(peak_rps=100_000, period_ns=100 * MS, duty=0.3,
+                      rise_frac=0.0)
+    arrivals = generate_arrivals(shape, 1 * S, rng())
+    phase = (arrivals % (100 * MS)) / (100 * MS)
+    assert (phase <= 0.3 + 1e-9).all()
+
+
+def test_burst_rate_envelope():
+    shape = BurstLoad(peak_rps=1000, period_ns=100 * MS, duty=0.5,
+                      rise_frac=0.2)
+    # Mid-burst plateau at peak; mid-ramp at half peak; gap at zero.
+    assert shape.rate_at(25 * MS) == pytest.approx(1000)
+    assert shape.rate_at(5 * MS) == pytest.approx(500)
+    assert shape.rate_at(80 * MS) == 0.0
+
+
+def test_burst_vectorized_matches_scalar():
+    shape = BurstLoad(peak_rps=1000, period_ns=100 * MS, duty=0.5)
+    times = np.arange(0, 200 * MS, 7 * MS, dtype=float)
+    vec = shape.rate_at(times)
+    scalars = np.array([shape.rate_at(float(t)) for t in times])
+    assert np.allclose(vec, scalars)
+
+
+def test_scaled_load():
+    base = ConstantLoad(1000.0)
+    scaled = ScaledLoad(base, 4)
+    assert scaled.mean_rps() == 4000.0
+    assert scaled.peak_rps == 4000.0
+    assert scaled.rate_at(123) == 4000.0
+
+
+def test_piecewise_load_switches_segments():
+    shape = PiecewiseLoad([(0, ConstantLoad(100.0)),
+                           (1 * S, ConstantLoad(900.0))])
+    assert shape.rate_at(0.5 * S) == 100.0
+    assert shape.rate_at(1.5 * S) == 900.0
+    assert shape.peak_rps == 900.0
+
+
+def test_piecewise_segment_relative_time():
+    burst = BurstLoad(peak_rps=1000, period_ns=100 * MS, duty=0.5,
+                      rise_frac=0.0)
+    shape = PiecewiseLoad([(0, ConstantLoad(0.0001)), (1 * S, burst)])
+    # The burst restarts at the segment boundary: 1s + 25ms is mid-burst.
+    assert shape.rate_at(1 * S + 25 * MS) == pytest.approx(1000)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        BurstLoad(peak_rps=0)
+    with pytest.raises(ValueError):
+        BurstLoad(peak_rps=10, duty=0)
+    with pytest.raises(ValueError):
+        BurstLoad(peak_rps=10, rise_frac=0.5)
+    with pytest.raises(ValueError):
+        PiecewiseLoad([])
+    with pytest.raises(ValueError):
+        PiecewiseLoad([(10, ConstantLoad(1)), (0, ConstantLoad(1))])
+    with pytest.raises(ValueError):
+        ScaledLoad(ConstantLoad(1), 0)
+    with pytest.raises(ValueError):
+        generate_arrivals(ConstantLoad(1), 0, rng())
+
+
+def test_zero_rate_yields_no_arrivals():
+    assert generate_arrivals(ConstantLoad(0.0), 1 * S, rng()).size == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.floats(min_value=1_000, max_value=200_000),
+       st.floats(min_value=0.1, max_value=1.0),
+       st.floats(min_value=0.0, max_value=0.4))
+def test_arrival_counts_track_mean_property(peak, duty, rise):
+    shape = BurstLoad(peak_rps=peak, period_ns=50 * MS, duty=duty,
+                      rise_frac=rise)
+    arrivals = generate_arrivals(shape, 500 * MS, rng())
+    expected = shape.mean_rps() * 0.5
+    assert arrivals.size == pytest.approx(expected, rel=0.25, abs=30)
