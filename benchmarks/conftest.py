@@ -5,11 +5,29 @@ table the paper reports, and asserts the reproduction's shape checks.
 pytest-benchmark times the (single-round) harness execution; experiment
 runs are memoized per process, so figure pairs that share a grid
 (12/13, 14/15) pay for it once.
+
+The persistent run cache is disabled for the whole benchmark session:
+these benchmarks time *simulation*, and a warm disk cache would turn
+them into pickle-load measurements (it would also leave the user's
+``.repro_cache/`` at the mercy of benchmark isolation).
 """
+
+import os
 
 import pytest
 
 from repro.experiments.registry import run_experiment
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _no_disk_cache():
+    prev = os.environ.get("REPRO_RUN_CACHE")
+    os.environ["REPRO_RUN_CACHE"] = "0"
+    yield
+    if prev is None:
+        os.environ.pop("REPRO_RUN_CACHE", None)
+    else:
+        os.environ["REPRO_RUN_CACHE"] = prev
 
 
 @pytest.fixture

@@ -55,21 +55,37 @@ class AppWorkerThread(SimThread):
         self.stack = stack
         socket.consumer = self
         self.requests_served = 0
+        # Reusable Work shell + the request it currently serves. The
+        # round-robin scheduler keeps one chunk in flight per thread, so
+        # re-arming the shell is safe and avoids a Work + closure
+        # allocation per request.
+        self._work: Optional[Work] = None
+        self._serving: Optional[Request] = None
 
     def next_work(self) -> Optional[Work]:
         packet = self.socket.pop()
         if packet is None:
             return None
         request = packet.request
-        request.delivered_ns = (request.delivered_ns
-                                if request.delivered_ns is not None
-                                else self.scheduler.sim.now)
-        request.started_ns = self.scheduler.sim.now
+        now = self.scheduler.sim.now
+        if request.delivered_ns is None:
+            request.delivered_ns = now
+        request.started_ns = now
         request.core_id = self.core_id
         cycles = request.service_cycles + self.app.tx_cycles
-        return Work(cycles, PRIORITY_TASK,
-                    on_complete=lambda w, r=request: self._respond(r),
-                    label=f"{self.app.name}.req")
+        self._serving = request
+        work = self._work
+        if work is None:
+            self._work = work = Work(cycles, PRIORITY_TASK,
+                                     on_complete=self._serve_done,
+                                     label=f"{self.app.name}.req")
+        else:
+            work.cycles_total = work.cycles_remaining = cycles
+            work.on_complete = self._serve_done
+        return work
+
+    def _serve_done(self, work: Work) -> None:
+        self._respond(self._serving)
 
     def _respond(self, request: Request) -> None:
         self.requests_served += 1

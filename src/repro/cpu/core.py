@@ -107,11 +107,20 @@ class Core:
 
         self.pstate_index: int = 0
         self.cstate: CState = self.cstates.cc0
+        #: Current clock, cached off the P-state table (hot path: work
+        #: checkpointing/completion touches it per work item).
+        self._freq_hz: float = pstate_table.freq_of(0)
+        #: Memoized (active, pstate, cstate) -> watts; the model's inputs
+        #: are fixed per run, and state flips are frequent.
+        self._power_memo: Dict[tuple, float] = {}
 
         self._current: Optional[Work] = None
         self._run_start_ns: int = 0
         self._completion_ev = None
         self._pending: List[Deque[Work]] = [deque() for _ in range(_N_PRIORITIES)]
+        #: Total queued items across all priorities (kept in sync so the
+        #: hot idle/wake checks don't iterate the deques).
+        self._pending_n = 0
         self._waking = False
         self._wake_ev = None
         self._idle_start_ns: Optional[int] = sim.now
@@ -137,7 +146,7 @@ class Core:
     @property
     def frequency_hz(self) -> float:
         """Current effective clock frequency."""
-        return self.pstates.freq_of(self.pstate_index)
+        return self._freq_hz
 
     @property
     def current_work(self) -> Optional[Work]:
@@ -147,7 +156,7 @@ class Core:
     def is_idle(self) -> bool:
         """True when nothing is running, waking, or pending."""
         return (self._current is None and not self._waking
-                and not any(self._pending))
+                and not self._pending_n)
 
     def pending_count(self, priority: Optional[int] = None) -> int:
         """Number of queued (not running) work items."""
@@ -180,10 +189,14 @@ class Core:
         # A waking core is not yet executing: it draws idle-CC0-level
         # power (ungating, cache refill) rather than full active power.
         active = self._acct_busy and not self._waking
-        watts = self.power_model.core_power(
-            active=active,
-            pstate=self.pstates[self.pstate_index],
-            cstate=self.cstate if not self._acct_busy else self.cstates.cc0)
+        cstate = self.cstate if not self._acct_busy else self.cstates.cc0
+        key = (active, self.pstate_index, cstate.index)
+        watts = self._power_memo.get(key)
+        if watts is None:
+            watts = self.power_model.core_power(
+                active=active, pstate=self.pstates[self.pstate_index],
+                cstate=cstate)
+            self._power_memo[key] = watts
         self.meter.set_power(self.sim.now, watts)
 
     def _set_busy(self, busy: bool) -> None:
@@ -206,6 +219,7 @@ class Core:
         if self._current is not None and work.priority < self._current.priority:
             self._preempt_current()
         self._pending[work.priority].append(work)
+        self._pending_n += 1
         if self._current is None and not self._waking:
             self._wake_and_start()
 
@@ -223,6 +237,7 @@ class Core:
             return True
         try:
             self._pending[work.priority].remove(work)
+            self._pending_n -= 1
             return True
         except ValueError:
             return False
@@ -238,13 +253,14 @@ class Core:
         self._checkpoint_current()
         self._cancel_completion()
         self._pending[work.priority].appendleft(work)
+        self._pending_n += 1
         self._current = None
 
     def _checkpoint_current(self) -> None:
         work = self._current
         assert work is not None
         elapsed = self.sim.now - self._run_start_ns
-        consumed = elapsed * self.frequency_hz / S
+        consumed = elapsed * self._freq_hz / S
         work.cycles_remaining = max(0.0, work.cycles_remaining - consumed)
         self._run_start_ns = self.sim.now
 
@@ -256,12 +272,13 @@ class Core:
     def _next_pending(self) -> Optional[Work]:
         for queue in self._pending:
             if queue:
+                self._pending_n -= 1
                 return queue.popleft()
         return None
 
     def _wake_and_start(self) -> None:
         """Transition out of idle (paying wake latency) and run next work."""
-        if not any(self._pending):
+        if not self._pending_n:
             self._go_idle()
             return
         if self.cstate.index > 0:
@@ -304,20 +321,27 @@ class Core:
         self._start_next()
 
     def _start_next(self) -> None:
-        assert self._current is None
         work = self._next_pending()
         if work is None:
             self._go_idle()
             return
         self._current = work
-        self._run_start_ns = self.sim.now
-        self._set_busy(True)
-        duration = cycles_to_ns(work.cycles_remaining, self.frequency_hz)
-        self._completion_ev = self.sim.schedule(duration, self._complete)
+        sim = self.sim
+        self._run_start_ns = sim.now
+        if not self._acct_busy:
+            self._set_busy(True)
+        # Inlined cycles_to_ns (this runs once per work item).
+        cycles = work.cycles_remaining
+        if cycles <= 0:
+            duration = 0
+        else:
+            duration = int(round(cycles * S / self._freq_hz))
+            if duration < 1:
+                duration = 1
+        self._completion_ev = sim.schedule(duration, self._complete)
 
     def _complete(self) -> None:
         work = self._current
-        assert work is not None
         self._completion_ev = None
         work.cycles_remaining = 0.0
         self._current = None
@@ -390,6 +414,7 @@ class Core:
             self._cancel_completion()
         self._account()
         self.pstate_index = index
+        self._freq_hz = self.pstates.freq_of(index)
         self._update_power()
         if self.trace is not None:
             self.trace.record(f"core{self.core_id}.pstate", self.sim.now, index)
@@ -397,5 +422,5 @@ class Core:
             listener(self)
         if self._current is not None:
             duration = cycles_to_ns(self._current.cycles_remaining,
-                                    self.frequency_hz)
+                                    self._freq_hz)
             self._completion_ev = self.sim.schedule(duration, self._complete)

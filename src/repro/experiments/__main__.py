@@ -5,7 +5,14 @@ Usage::
     python -m repro.experiments                 # everything, quick scale
     python -m repro.experiments fig12 fig13     # a subset
     python -m repro.experiments --full tab1     # paper-sized run
+    python -m repro.experiments --workers 4 fig12   # parallel grid cells
     python -m repro.experiments --markdown out.md
+
+Independent simulation runs fan out over ``--workers`` processes (or
+``REPRO_WORKERS``); results are bit-identical to serial runs. Finished
+runs persist in an on-disk cache (``.repro_cache/`` or
+``$REPRO_CACHE_DIR``), so re-invocations are served without simulating —
+the per-experiment cache line shows where results came from.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ import argparse
 import sys
 import time
 
+from repro.experiments import runner
 from repro.experiments.base import FULL, QUICK
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 
@@ -27,6 +35,12 @@ def main(argv=None) -> int:
                              f"{', '.join(EXPERIMENTS)})")
     parser.add_argument("--full", action="store_true",
                         help="paper-sized scale (8 cores, longer runs)")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="processes for independent runs (default: "
+                             "$REPRO_WORKERS or serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and don't write the persistent "
+                             "run cache")
     parser.add_argument("--markdown", metavar="PATH",
                         help="also write a markdown report to PATH")
     args = parser.parse_args(argv)
@@ -36,17 +50,22 @@ def main(argv=None) -> int:
     if unknown:
         parser.error(f"unknown experiment ids: {unknown}")
     scale = FULL if args.full else QUICK
+    if args.no_cache:
+        import os
+        os.environ["REPRO_RUN_CACHE"] = "0"
 
     sections = []
     all_ok = True
     for experiment_id in ids:
+        runner.reset_cache_stats()
         t0 = time.time()
-        result = run_experiment(experiment_id, scale)
+        result = run_experiment(experiment_id, scale, workers=args.workers)
         elapsed = time.time() - t0
+        stats = runner.cache_stats()
         text = result.render()
         print(text)
-        print(f"({elapsed:.1f}s)\n")
-        sections.append((result, elapsed))
+        print(f"({elapsed:.1f}s; {stats.describe()})\n")
+        sections.append((result, elapsed, stats))
         all_ok &= result.all_expectations_met
 
     if args.markdown:
@@ -64,13 +83,13 @@ def render_markdown(sections, scale_name: str) -> str:
              "evaluation, regenerated on the simulated substrate. "
              "'Shape checks' are the reproduction criteria from DESIGN.md.",
              ""]
-    for result, elapsed in sections:
+    for result, elapsed, stats in sections:
         lines.append(f"## {result.experiment_id}: {result.title}")
         lines.append("")
         lines.append("```")
         lines.append(result.render())
         lines.append("```")
-        lines.append(f"*({elapsed:.1f}s)*")
+        lines.append(f"*({elapsed:.1f}s; {stats.describe()})*")
         lines.append("")
     return "\n".join(lines)
 

@@ -9,8 +9,9 @@ per process (the runner memoizes by configuration).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.experiments import parallel
 from repro.experiments.base import ExperimentScale
 from repro.experiments.runner import run_cached
 from repro.system import RunResult, ServerConfig
@@ -25,26 +26,39 @@ APPS = ("memcached", "nginx")
 GridKey = Tuple[str, str, str, str]  # (app, level, governor, sleep)
 
 
+def cell_config(app: str, level: str, governor: str, sleep: str,
+                scale: ExperimentScale) -> ServerConfig:
+    """The configuration of one grid cell."""
+    return ServerConfig(app=app, load_level=level, freq_governor=governor,
+                        idle_governor=sleep, n_cores=scale.n_cores,
+                        seed=scale.seed)
+
+
 def run_cell(app: str, level: str, governor: str, sleep: str,
              scale: ExperimentScale) -> RunResult:
     """Run (or fetch) one grid cell."""
-    config = ServerConfig(app=app, load_level=level, freq_governor=governor,
-                          idle_governor=sleep, n_cores=scale.n_cores,
-                          seed=scale.seed)
+    config = cell_config(app, level, governor, sleep, scale)
     return run_cached(config, scale.duration_ns)
 
 
 def run_grid(governors, sleeps, scale: ExperimentScale,
-             apps=APPS, levels=LOAD_LEVELS) -> Dict[GridKey, RunResult]:
-    """Run every (app, level, governor, sleep) combination."""
-    results: Dict[GridKey, RunResult] = {}
-    for app in apps:
-        for level in levels:
-            for governor in governors:
-                for sleep in sleeps:
-                    results[(app, level, governor, sleep)] = run_cell(
-                        app, level, governor, sleep, scale)
-    return results
+             apps=APPS, levels=LOAD_LEVELS,
+             workers: Optional[int] = None) -> Dict[GridKey, RunResult]:
+    """Run every (app, level, governor, sleep) combination.
+
+    Cells are independent seeded systems, so with ``workers`` > 1 (or an
+    ambient/environment worker count — see
+    :func:`repro.experiments.parallel.resolve_workers`) they fan out over
+    a process pool; per-cell results are identical to a serial run.
+    """
+    keys: List[GridKey] = [(app, level, governor, sleep)
+                           for app in apps
+                           for level in levels
+                           for governor in governors
+                           for sleep in sleeps]
+    jobs = [(cell_config(*key, scale), scale.duration_ns) for key in keys]
+    results = parallel.run_many(jobs, workers=workers)
+    return dict(zip(keys, results))
 
 
 def baseline_energy(results: Dict[GridKey, RunResult], app: str,

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict
 
+from repro.experiments import parallel
 from repro.experiments import (fig02_mode_transitions, fig03_response_latency,
                                fig04_latency_cdf, fig07_cc6_entries,
                                fig08_sleep_policies, fig09_nmap_trace,
@@ -42,11 +43,20 @@ EXPERIMENTS: Dict[str, Callable] = {
 
 
 def run_experiment(experiment_id: str,
-                   scale: ExperimentScale = QUICK) -> ExperimentResult:
-    """Run one paper artifact's harness by id."""
+                   scale: ExperimentScale = QUICK,
+                   workers: int = None) -> ExperimentResult:
+    """Run one paper artifact's harness by id.
+
+    ``workers`` > 1 fans the harness's independent simulation runs (grid
+    cells, per-manager runs) out over a process pool; None keeps the
+    ambient/environment worker count (``REPRO_WORKERS``, default serial).
+    """
     try:
         harness = EXPERIMENTS[experiment_id]
     except KeyError:
         raise ValueError(f"unknown experiment {experiment_id!r}; "
                          f"known: {list(EXPERIMENTS)}") from None
-    return harness(scale)
+    if workers is None:
+        return harness(scale)
+    with parallel.using_workers(workers):
+        return harness(scale)

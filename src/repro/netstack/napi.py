@@ -89,6 +89,19 @@ class NapiContext:
         self._session_packets = 0
         self._next_poll_is_interrupt_mode = False
 
+        # Reusable Work shells, one per lifecycle slot. The state machine
+        # guarantees at most one of each is in flight (irq masked while
+        # polling; the next poll is only submitted after the previous
+        # one's completion), so the shell can be re-armed in place
+        # instead of allocating a Work + result closure per batch.
+        self._hardirq_work: Optional[Work] = None
+        self._softirq_work: Optional[Work] = None
+        self._deferred_work: Optional[Work] = None
+        self._softirq_rx: list = []
+        self._softirq_n = 0
+        self._deferred_rx: list = []
+        self._deferred_n = 0
+
         # Lifetime counters.
         self.irq_count = 0
         self.sessions = 0
@@ -115,8 +128,14 @@ class NapiContext:
         self.nic.disable_irq(self.queue_id)
         for listener in self.irq_listeners:
             listener(self)
-        work = Work(self.config.irq_cycles, PRIORITY_HARDIRQ,
-                    on_complete=self._irq_done, label=f"hardirq.q{self.queue_id}")
+        work = self._hardirq_work
+        if work is None:
+            self._hardirq_work = work = Work(
+                self.config.irq_cycles, PRIORITY_HARDIRQ,
+                on_complete=self._irq_done,
+                label=f"hardirq.q{self.queue_id}")
+        else:
+            work.cycles_remaining = work.cycles_total
         self.core.submit(work)
 
     def _irq_done(self, work: Work) -> None:
@@ -132,38 +151,60 @@ class NapiContext:
     # Poll batches
     # ------------------------------------------------------------------ #
 
-    def _grab_batch(self) -> Tuple[list, int]:
+    def _grab_batch(self) -> Tuple[list, int, float]:
         """Dequeue up to poll_budget items (Tx completions first, then Rx).
 
-        Returns (rx_packets, total_cycles). Bare ACKs cost less than data
-        packets and are consumed by the stack (never delivered upward).
+        Returns (data_packets, n_rx, total_cycles): ``n_rx`` counts every
+        Rx item (the mode-attribution unit) while ``data_packets`` holds
+        only the deliverable ones — bare ACKs cost less per packet, are
+        consumed right here (never delivered upward), and their husks go
+        back to the NIC's ACK freelist.
         """
         cfg = self.config
         queue = self.nic.queues[self.queue_id]
         budget = cfg.poll_budget
         cycles = cfg.poll_overhead_cycles
-        n_txc = 0
-        while n_txc < budget and queue.pop_txc() is not None:
-            n_txc += 1
-        cycles += n_txc * cfg.txc_cycles_per_packet
-        rx_packets = []
-        while len(rx_packets) + n_txc < budget:
-            pkt = queue.pop_rx()
+        n = 0
+        while n < budget and queue.pop_txc() is not None:
+            n += 1
+        cycles += n * cfg.txc_cycles_per_packet
+        ack_cycles = cfg.ack_cycles_per_packet
+        rx_cycles = cfg.rx_cycles_per_packet
+        free_acks = self.nic.free_acks
+        pop_rx = queue.pop_rx
+        data_packets = []
+        append = data_packets.append
+        n_rx = 0
+        while n < budget:
+            pkt = pop_rx()
             if pkt is None:
                 break
-            rx_packets.append(pkt)
+            n += 1
+            n_rx += 1
             if pkt.kind == "ack":
-                cycles += cfg.ack_cycles_per_packet
+                cycles += ack_cycles
+                if len(free_acks) < 512:
+                    free_acks.append(pkt)
             else:
-                cycles += cfg.rx_cycles_per_packet
-        return rx_packets, cycles
+                cycles += rx_cycles
+                append(pkt)
+        return data_packets, n_rx, cycles
 
     def _submit_softirq_poll(self) -> None:
-        rx_packets, cycles = self._grab_batch()
-        work = Work(cycles, PRIORITY_SOFTIRQ,
-                    on_complete=lambda w: self._poll_done(rx_packets),
-                    label=f"napi.q{self.queue_id}")
+        rx_packets, n_rx, cycles = self._grab_batch()
+        work = self._softirq_work
+        if work is None:
+            self._softirq_work = work = Work(
+                cycles, PRIORITY_SOFTIRQ, on_complete=self._softirq_done,
+                label=f"napi.q{self.queue_id}")
+        else:
+            work.cycles_total = work.cycles_remaining = cycles
+        self._softirq_rx = rx_packets
+        self._softirq_n = n_rx
         self.core.submit(work)
+
+    def _softirq_done(self, work: Work) -> None:
+        self._poll_done(self._softirq_rx, self._softirq_n)
 
     def make_deferred_work(self) -> Optional[Work]:
         """Next poll batch as TASK work, for ksoftirqd. None when drained."""
@@ -172,25 +213,38 @@ class NapiContext:
         if not self.nic.queues[self.queue_id].has_work:
             self._finish_session()
             return None
-        rx_packets, cycles = self._grab_batch()
-        return Work(cycles, PRIORITY_TASK,
-                    on_complete=lambda w: self._poll_done(rx_packets),
-                    label=f"ksoftirqd.q{self.queue_id}")
+        rx_packets, n_rx, cycles = self._grab_batch()
+        work = self._deferred_work
+        if work is None:
+            self._deferred_work = work = Work(
+                cycles, PRIORITY_TASK, on_complete=self._deferred_done,
+                label=f"ksoftirqd.q{self.queue_id}")
+        else:
+            work.cycles_total = work.cycles_remaining = cycles
+            # The thread wrapper overwrote on_complete on the last lap.
+            work.on_complete = self._deferred_done
+        self._deferred_rx = rx_packets
+        self._deferred_n = n_rx
+        return work
 
-    def _poll_done(self, rx_packets: list) -> None:
+    def _deferred_done(self, work: Work) -> None:
+        self._poll_done(self._deferred_rx, self._deferred_n)
+
+    def _poll_done(self, rx_packets: list, n: int) -> None:
+        """Account one finished poll batch; ``n`` counts all Rx items
+        (data + consumed ACKs), ``rx_packets`` the deliverable ones."""
         mode = (MODE_INTERRUPT if self._next_poll_is_interrupt_mode
                 else MODE_POLLING)
         self._next_poll_is_interrupt_mode = False
-        n = len(rx_packets)
         if mode == MODE_INTERRUPT:
             self.pkts_interrupt_mode += n
         else:
             self.pkts_polling_mode += n
         self._session_packets += n
         if self.deliver is not None:
+            core_id = self.core.core_id
             for pkt in rx_packets:
-                if pkt.kind != "ack":
-                    self.deliver(pkt, self.core.core_id)
+                self.deliver(pkt, core_id)
         for listener in self.poll_listeners:
             listener(self, n, mode)
         self._after_poll()

@@ -30,6 +30,11 @@ class StackConfig:
     #: Gap between consecutive ACKs of one response arriving back
     #: (serialization on the wire plus client-side processing).
     ack_spacing_ns: int = 8_000
+    #: Schedule a multi-segment response's ACK flood as one chained train
+    #: event instead of one heap entry per segment (same arrival times;
+    #: the heap stays shallow). False restores the legacy per-ACK
+    #: scheduling and its exact event ordering.
+    batch_acks: bool = True
 
 
 class NetworkStack:
@@ -43,9 +48,13 @@ class NetworkStack:
         self.processor = processor
         self.nic = nic
         self.config = config or StackConfig()
-        #: Called as ``response_sink(packet)`` when a response reaches the
-        #: client side of the wire; set by the system builder.
-        self.response_sink: Optional[Callable[[Packet], None]] = None
+        self._response_sink: Optional[Callable[[Packet], None]] = None
+        #: Optional synchronous variant ``response_sink_at(packet, t_ns)``
+        #: for passive receivers (pure recorders): the NIC then notifies
+        #: at transmit time with the delivery timestamp instead of
+        #: scheduling one wire-delay event per response. Paired with
+        #: ``response_sink`` — rebinding the sink clears it (see setter).
+        self.response_sink_at: Optional[Callable[[Packet, int], None]] = None
 
         self.schedulers: List[CoreScheduler] = []
         self.ksoftirqds: List[KsoftirqdThread] = []
@@ -66,6 +75,19 @@ class NetworkStack:
             self.ksoftirqds.append(ksoftirqd)
             self.sockets.append(socket)
             self.napis.append(napi)
+
+    @property
+    def response_sink(self) -> Optional[Callable[[Packet], None]]:
+        """Called as ``response_sink(packet)`` when a response reaches the
+        client side of the wire; set by the system builder."""
+        return self._response_sink
+
+    @response_sink.setter
+    def response_sink(self, sink: Optional[Callable[[Packet], None]]) -> None:
+        # A new receiver invalidates any synchronous fast-path variant
+        # wired for the previous one (tests swap in their own clients).
+        self._response_sink = sink
+        self.response_sink_at = None
 
     def _deliver(self, packet: Packet, core_id: int) -> None:
         self.sockets[core_id].deliver(packet)
@@ -90,17 +112,42 @@ class NetworkStack:
         # Extra segments: Tx completions only (payload carried by `packet`).
         for _ in range(n_segments - 1):
             self.nic.queues[core_id].push_txc(TxCompletion(packet.packet_id))
-        self.nic.transmit(packet, core_id, self.response_sink)
+        self.nic.transmit(packet, core_id, self.response_sink,
+                          sink_at=self.response_sink_at)
         if request.acked_response:
             rtt = 2 * self.nic.wire_latency_ns
-            for i in range(n_segments):
-                self.sim.schedule(rtt + i * self.config.ack_spacing_ns,
-                                  self._ack_arrives, request.flow_id)
+            if self.config.batch_acks and n_segments > 1:
+                # The whole train steers to one queue; hash the flow once.
+                qid = self.nic.rss.queue_for(request.flow_id)
+                self.sim.schedule(rtt, self._ack_train, request.flow_id,
+                                  n_segments, qid)
+            else:
+                for i in range(n_segments):
+                    self.sim.schedule(rtt + i * self.config.ack_spacing_ns,
+                                      self._ack_arrives, request.flow_id)
 
-    def _ack_arrives(self, flow_id: int) -> None:
-        ack = Packet(flow_id=flow_id, size_bytes=64,
-                     created_ns=self.sim.now, kind=Packet.KIND_ACK)
-        self.nic.receive(ack)
+    def _ack_train(self, flow_id: int, n_left: int, qid: int) -> None:
+        """One chained event delivers a segment train's ACKs in sequence.
+
+        Arrival times match the legacy per-ACK scheduling exactly; only
+        one heap entry per in-flight train exists at a time, so an nginx
+        burst (~70 segments per response) no longer floods the heap.
+        """
+        self._ack_arrives(flow_id, qid)
+        if n_left > 1:
+            self.sim.schedule(self.config.ack_spacing_ns, self._ack_train,
+                              flow_id, n_left - 1, qid)
+
+    def _ack_arrives(self, flow_id: int, qid: Optional[int] = None) -> None:
+        free = self.nic.free_acks
+        if free:
+            ack = free.pop()
+            ack.flow_id = flow_id
+            ack.created_ns = self.sim.now
+        else:
+            ack = Packet(flow_id=flow_id, size_bytes=64,
+                         created_ns=self.sim.now, kind=Packet.KIND_ACK)
+        self.nic.receive(ack, qid)
 
     # Aggregate counters used by experiments ---------------------------- #
 

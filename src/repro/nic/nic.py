@@ -47,6 +47,10 @@ class MultiQueueNic:
         #: latency-critical-request filter counts).
         self.rx_data_packets = 0
         self.tx_packets = 0
+        #: Consumed bare-ACK packets, returned by the poll loop for the
+        #: stack's ACK generator to re-stamp (ACK floods of multi-segment
+        #: responses otherwise allocate one short-lived Packet per ACK).
+        self.free_acks: List[Packet] = []
 
     @property
     def n_queues(self) -> int:
@@ -60,16 +64,25 @@ class MultiQueueNic:
     # Rx path
     # ------------------------------------------------------------------ #
 
-    def receive(self, packet: Packet) -> bool:
-        """A packet arrives from the wire; returns False if tail-dropped."""
-        qid = self.rss.queue_for(packet.flow_id)
+    def receive(self, packet: Packet, qid: Optional[int] = None) -> bool:
+        """A packet arrives from the wire; returns False if tail-dropped.
+
+        ``qid`` short-circuits RSS steering when the caller already knows
+        the queue (an ACK train hashes the same flow every segment).
+        """
+        if qid is None:
+            qid = self.rss.queue_for(packet.flow_id)
         queue = self.queues[qid]
         if not queue.push_rx(packet):
             return False
         self.rx_packets += 1
         if packet.kind == Packet.KIND_DATA and packet.request is not None:
             self.rx_data_packets += 1
-        self._maybe_raise_irq(qid)
+        # Inline the common no-op guards: under load the interrupt is
+        # masked or already pending for nearly every packet of a burst,
+        # so one batched irq event serves N arrivals (moderation + NAPI).
+        if self._irq_enabled[qid] and self._irq_pending_ev[qid] is None:
+            self._maybe_raise_irq(qid)
         return True
 
     def _maybe_raise_irq(self, qid: int) -> None:
@@ -118,9 +131,19 @@ class MultiQueueNic:
     # ------------------------------------------------------------------ #
 
     def transmit(self, packet: Packet, qid: int,
-                 sink: Callable[[Packet], None]) -> None:
-        """Send a packet: wire delay to ``sink``, completion to the queue."""
+                 sink: Callable[[Packet], None],
+                 sink_at: Optional[Callable[[Packet, int], None]] = None) -> None:
+        """Send a packet: wire delay to ``sink``, completion to the queue.
+
+        When the receiver is purely passive (the open-loop client only
+        records the delivery), ``sink_at`` lets it be notified
+        synchronously with the future delivery timestamp — no wire-delay
+        event per response enters the heap.
+        """
         self.tx_packets += 1
         self.queues[qid].push_txc(TxCompletion(packet.packet_id))
         self._maybe_raise_irq(qid)
-        self.sim.schedule(self.wire_latency_ns, sink, packet)
+        if sink_at is not None:
+            sink_at(packet, self.sim.now + self.wire_latency_ns)
+        else:
+            self.sim.schedule(self.wire_latency_ns, sink, packet)

@@ -31,6 +31,10 @@ class CoreScheduler:
         self.current: Optional[SimThread] = None
         self._current_work: Optional[Work] = None
         self._slice_ev = None
+        #: Anchor of the slice-tick grid (the dispatch instant). Ticks
+        #: conceptually fire every ``timeslice_ns`` from here, but only
+        #: the ones that can preempt (contention present) are scheduled.
+        self._slice_start = 0
         self.preemptions = 0
 
     def add_thread(self, thread: SimThread) -> None:
@@ -50,6 +54,16 @@ class CoreScheduler:
         thread.notify_wake()
         if self.current is None:
             self._dispatch()
+        elif self._slice_ev is None:
+            # Contention just appeared: materialize the next tick of the
+            # dispatch-anchored grid. A sole runnable thread runs with no
+            # timer at all (its ticks would only re-arm themselves), which
+            # kills the per-work schedule/cancel churn of the common
+            # uncontended case while preserving the exact preemption
+            # instants of an always-armed timer.
+            ts = self.timeslice_ns
+            delay = ts - (self.sim.now - self._slice_start) % ts
+            self._slice_ev = self.sim.schedule(delay, self._slice_expired)
 
     def _dispatch(self) -> None:
         while self.runnable:
@@ -64,8 +78,10 @@ class CoreScheduler:
             self.current = thread
             self._current_work = work
             thread.state = RUNNING
-            self._slice_ev = self.sim.schedule(self.timeslice_ns,
-                                               self._slice_expired)
+            self._slice_start = self.sim.now
+            if self.runnable:
+                self._slice_ev = self.sim.schedule(self.timeslice_ns,
+                                                   self._slice_expired)
             self.core.submit(work)
             return
         self.current = None
@@ -93,9 +109,8 @@ class CoreScheduler:
         if thread is None or work is None:
             return
         if not self.runnable:
-            # Sole runnable thread: let it continue for another slice.
-            self._slice_ev = self.sim.schedule(self.timeslice_ns,
-                                               self._slice_expired)
+            # Sole runnable thread: it continues untimed; wake() re-joins
+            # the tick grid when contention next appears.
             return
         if not self.core.pause(work):
             return  # completed in this same instant; _work_done handles it

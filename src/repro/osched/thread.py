@@ -32,6 +32,11 @@ class SimThread:
         self.state = SLEEPING
         self.scheduler = None
         self._paused_work: Optional[Work] = None
+        #: The in-flight chunk's pre-wrap completion callback. One chunk
+        #: is in flight per thread at a time (a preempted chunk is parked
+        #: and resumed before the next one is pulled), so a single slot
+        #: plus the bound :meth:`_finish` replaces a per-chunk closure.
+        self._pre_complete: Optional[Callable[[Work], None]] = None
         #: Called with (thread,) on SLEEPING -> RUNNABLE transitions.
         self.wake_listeners: List[Callable[["SimThread"], None]] = []
         #: Called with (thread,) when the thread runs out of work.
@@ -61,15 +66,13 @@ class SimThread:
         work = self.next_work()
         if work is None:
             return None
-        original = work.on_complete
-        scheduler = self.scheduler
-
-        def _done(w: Work) -> None:
-            scheduler._work_done(self, w, original)
-
-        work.on_complete = _done
+        self._pre_complete = work.on_complete
+        work.on_complete = self._finish
         work.owner = self
         return work
+
+    def _finish(self, work: Work) -> None:
+        self.scheduler._work_done(self, work, self._pre_complete)
 
     def park(self, work: Work) -> None:
         """Store preempted work to resume on the next dispatch."""

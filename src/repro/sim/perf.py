@@ -1,0 +1,73 @@
+"""Event-loop performance counters.
+
+The simulator is the hot loop of every experiment, so speedups there must
+be measured, not asserted. :class:`PerfSnapshot` captures the kernel-level
+counters of one run (events scheduled/fired/cancelled, heap high-water
+mark, freelist reuse) plus the wall-clock time the caller measured, and
+derives the two figures of merit: events/sec and the cancel ratio.
+
+Counter semantics:
+
+* ``events_scheduled`` — pushes into the queue (``schedule``/``push``).
+* ``events_fired`` — callbacks actually executed.
+* ``events_cancelled`` — events cancelled before firing (lazy-deleted).
+* ``events_recycled`` — fired/dropped events returned through the
+  freelist instead of being garbage (allocation churn avoided).
+* ``heap_peak`` — maximum heap length observed, cancelled entries
+  included (lazy cancellation keeps them in the heap until popped).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+
+@dataclass
+class PerfSnapshot:
+    """Immutable summary of one simulator run's kernel counters."""
+
+    events_scheduled: int = 0
+    events_fired: int = 0
+    events_cancelled: int = 0
+    events_recycled: int = 0
+    heap_peak: int = 0
+    #: Wall-clock seconds the measured section took (0 when not timed).
+    wall_s: float = 0.0
+
+    @property
+    def events_per_sec(self) -> float:
+        """Fired events per wall-clock second (0 when not timed)."""
+        if self.wall_s <= 0:
+            return 0.0
+        return self.events_fired / self.wall_s
+
+    @property
+    def cancel_ratio(self) -> float:
+        """Fraction of scheduled events that were cancelled."""
+        if self.events_scheduled <= 0:
+            return 0.0
+        return self.events_cancelled / self.events_scheduled
+
+    @property
+    def recycle_ratio(self) -> float:
+        """Fraction of scheduled events served from the freelist."""
+        if self.events_scheduled <= 0:
+            return 0.0
+        return self.events_recycled / self.events_scheduled
+
+    def as_dict(self) -> dict:
+        """Counters plus derived rates, for JSON export / reports."""
+        d = asdict(self)
+        d["events_per_sec"] = round(self.events_per_sec, 1)
+        d["cancel_ratio"] = round(self.cancel_ratio, 4)
+        d["recycle_ratio"] = round(self.recycle_ratio, 4)
+        return d
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        rate = (f"{self.events_per_sec:,.0f} events/s"
+                if self.wall_s > 0 else "untimed")
+        return (f"{self.events_fired:,} events fired ({rate}), "
+                f"heap peak {self.heap_peak:,}, "
+                f"cancel ratio {self.cancel_ratio:.1%}, "
+                f"recycle ratio {self.recycle_ratio:.1%}")

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+from heapq import heappop as _heappop
+from sys import getrefcount
 from typing import Any, Callable, Optional
 
-from repro.sim.event import Event, EventQueue
+from repro.sim.event import _FREELIST_MAX, Event, EventQueue
+from repro.sim.perf import PerfSnapshot
 
 
 class Simulator:
@@ -46,7 +49,7 @@ class Simulator:
 
     def cancel(self, ev: Event) -> None:
         """Cancel a previously scheduled event."""
-        self._queue.cancel(ev)
+        ev.cancel()
 
     def step(self) -> bool:
         """Execute the next event. Returns False when the queue is empty."""
@@ -56,20 +59,50 @@ class Simulator:
         self.now = ev.time
         self._events_processed += 1
         ev.fn(*ev.args)
+        self._queue.recycle(ev)
         return True
 
     def run_until(self, t_end: int) -> None:
-        """Run events up to and including time ``t_end``, then set now=t_end."""
+        """Run events up to and including time ``t_end``, then set now=t_end.
+
+        This IS the simulation: every fired event passes through this
+        loop, so the queue's pop/recycle steps are inlined here (heap
+        access, cancelled-head dropping, freelist reuse) rather than paid
+        as two extra call frames per event. Semantics match
+        ``pop_due`` + ``recycle`` exactly — see event.py for the refcount
+        reuse guard being applied (here the safe count is 2: the local
+        binding plus getrefcount's argument).
+        """
         queue = self._queue
-        while True:
-            nxt = queue.peek_time()
-            if nxt is None or nxt > t_end:
+        heap = queue._heap
+        free = queue._free
+        heappop = _heappop
+        refcount = getrefcount
+        processed = 0
+        while heap:
+            ev = heap[0][2]
+            if ev.cancelled:
+                heappop(heap)
+                ev._queue = None
+                if refcount(ev) == 2 and len(free) < _FREELIST_MAX:
+                    ev.fn = None
+                    ev.args = ()
+                    free.append(ev)
+                continue
+            time = ev.time
+            if time > t_end:
                 break
-            ev = queue.pop()
-            assert ev is not None
-            self.now = ev.time
-            self._events_processed += 1
+            heappop(heap)
+            queue._live -= 1
+            ev._queue = None
+            self.now = time
+            processed += 1
             ev.fn(*ev.args)
+            if refcount(ev) == 2 and len(free) < _FREELIST_MAX:
+                ev.fn = None
+                ev.args = ()
+                free.append(ev)
+        self._events_processed += processed
         if t_end > self.now:
             self.now = t_end
 
@@ -80,6 +113,11 @@ class Simulator:
             count += 1
             if max_events is not None and count >= max_events:
                 break
+
+    def perf_snapshot(self, wall_s: float = 0.0) -> PerfSnapshot:
+        """Kernel counters of this simulator (see :mod:`repro.sim.perf`)."""
+        return self._queue.perf_snapshot(events_fired=self._events_processed,
+                                         wall_s=wall_s)
 
     def every(self, period: int, fn: Callable[..., Any], *args: Any,
               start_delay: Optional[int] = None) -> "PeriodicTimer":
@@ -112,7 +150,8 @@ class PeriodicTimer:
         """Stop the timer; no further firings occur."""
         self._stopped = True
         if self._ev is not None:
-            self._sim.cancel(self._ev)
+            self._ev.cancel()
+            self._ev = None
 
     @property
     def stopped(self) -> bool:

@@ -17,6 +17,7 @@ This is the main public API::
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
@@ -39,6 +40,7 @@ from repro.metrics.latency import LatencyStats
 from repro.metrics.slo import SloResult, check_slo
 from repro.nic.nic import MultiQueueNic
 from repro.netstack.stack import NetworkStack, StackConfig
+from repro.sim.perf import PerfSnapshot
 from repro.sim.rng import RandomStreams
 from repro.sim.simulator import Simulator
 from repro.sim.trace import TraceRecorder
@@ -95,6 +97,10 @@ class ServerConfig:
     n_flows: Optional[int] = None
     seed: int = 0
     trace: bool = False
+    #: Batch per-packet event scheduling (client arrival doorbell, ACK
+    #: trains). Arrival times are identical either way; False restores
+    #: the exact legacy event ordering (one heap entry per packet).
+    batch_events: bool = True
 
     def with_overrides(self, **kwargs) -> "ServerConfig":
         """A copy with fields replaced (convenience for sweeps)."""
@@ -118,6 +124,9 @@ class RunResult:
     pkts_interrupt_mode: int
     pkts_polling_mode: int
     ksoftirqd_wakeups: int
+    #: Event-kernel counters of the run (events/sec, heap peak, cancel
+    #: ratio); None for results deserialized from older caches.
+    perf: Optional[PerfSnapshot] = None
 
     def latency_stats(self) -> LatencyStats:
         """Percentile summary of completed-request latencies."""
@@ -165,8 +174,11 @@ class ServerSystem:
         self.nic = MultiQueueNic(self.sim, n_queues=config.n_cores,
                                  wire_latency_ns=config.wire_latency_ns,
                                  itr_gap_ns=config.itr_gap_ns)
+        stack_config = config.stack
+        if not config.batch_events and stack_config.batch_acks:
+            stack_config = replace(stack_config, batch_acks=False)
         self.stack = NetworkStack(self.sim, self.processor, self.nic,
-                                  config=config.stack)
+                                  config=stack_config)
 
         # Application: one worker thread pinned per core.
         self.app = make_app(config.app, self.rng.stream("app"),
@@ -190,8 +202,13 @@ class ServerSystem:
             self.sim, self.nic, shape, self.rng.numpy_stream("client"),
             request_factory=self.app.request_factory(),
             wire_latency_ns=config.wire_latency_ns,
-            n_flows=config.n_flows)
+            n_flows=config.n_flows,
+            batch_arrivals=config.batch_events)
         self.stack.response_sink = self.client.on_response
+        if config.batch_events:
+            # The open-loop client is a pure recorder: let the NIC notify
+            # it synchronously at transmit time (no per-response event).
+            self.stack.response_sink_at = self.client.on_response_at
 
         # Idle governor (shared instance across cores). "nmap-sleep" is
         # the mode-aware extension: it needs the NMAP engines, so it is
@@ -306,6 +323,7 @@ class ServerSystem:
         """
         if duration_ns <= 0:
             raise ValueError("duration must be positive")
+        wall_start = time.perf_counter()
         self.client.start(duration_ns)
         for gov in self.freq_governors:
             gov.start()
@@ -324,6 +342,9 @@ class ServerSystem:
             self.manager.stop()
         self.sim.run_until(duration_ns + drain_ns)
         self.processor.finalize()
+        self.client.finalize(duration_ns + drain_ns)
+        perf = self.sim.perf_snapshot(
+            wall_s=time.perf_counter() - wall_start)
 
         return RunResult(
             config=self.config,
@@ -339,7 +360,8 @@ class ServerSystem:
             trace=self.trace,
             pkts_interrupt_mode=self.stack.total_pkts_interrupt_mode(),
             pkts_polling_mode=self.stack.total_pkts_polling_mode(),
-            ksoftirqd_wakeups=self.stack.total_ksoftirqd_wakeups())
+            ksoftirqd_wakeups=self.stack.total_ksoftirqd_wakeups(),
+            perf=perf)
 
 
 def run_server(config: ServerConfig, duration_ns: int) -> RunResult:

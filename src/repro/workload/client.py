@@ -22,7 +22,8 @@ class OpenLoopClient:
     def __init__(self, sim, nic, shape: LoadShape, rng: np.random.Generator,
                  request_factory: Optional[Callable[[int, int], Request]] = None,
                  wire_latency_ns: int = 5_000,
-                 n_flows: Optional[int] = None):
+                 n_flows: Optional[int] = None,
+                 batch_arrivals: bool = True):
         if n_flows is not None and n_flows < 1:
             raise ValueError("need at least one flow")
         self.sim = sim
@@ -38,8 +39,18 @@ class OpenLoopClient:
         #: testbed's many-connection behaviour). A small number
         #: concentrates flows, producing per-core load imbalance.
         self.n_flows = n_flows
+        #: True = one pending "ring doorbell" event delivers each burst of
+        #: due arrivals to the NIC (identical arrival times/order, but the
+        #: heap holds one client event instead of one per in-flight
+        #: packet). False = legacy two-events-per-request scheduling,
+        #: preserving exact legacy event ordering.
+        self.batch_arrivals = batch_arrivals
 
         self._arrivals: Optional[np.ndarray] = None
+        #: The same schedule as plain Python ints (per-element ndarray
+        #: indexing is several times slower than list indexing, and the
+        #: doorbell touches every element once).
+        self._arrival_list: list = []
         self._next_idx = 0
         self._flow_counter = 0
         self.sent = 0
@@ -53,27 +64,61 @@ class OpenLoopClient:
     def start(self, duration_ns: int) -> int:
         """Generate the arrival schedule and begin sending; returns count."""
         self._arrivals = generate_arrivals(self.shape, duration_ns, self.rng)
+        self._arrival_list = [int(t) for t in self._arrivals]
         self._next_idx = 0
-        self._schedule_next()
+        if self.batch_arrivals:
+            self._ring_next()
+        else:
+            self._schedule_next()
         return int(self._arrivals.size)
 
-    def _schedule_next(self) -> None:
-        if self._arrivals is None or self._next_idx >= self._arrivals.size:
-            return
-        t = int(self._arrivals[self._next_idx])
-        self.sim.schedule_at(max(t, self.sim.now), self._send_one)
+    # -- batched path: one doorbell event per burst of due arrivals ----- #
 
-    def _send_one(self) -> None:
-        assert self._arrivals is not None
-        t = int(self._arrivals[self._next_idx])
-        self._next_idx += 1
+    def _ring_next(self) -> None:
+        if self._next_idx >= len(self._arrival_list):
+            return
+        t_arrive = self._arrival_list[self._next_idx] + self.wire_latency_ns
+        self.sim.schedule_at(max(t_arrive, self.sim.now), self._ring_doorbell)
+
+    def _ring_doorbell(self) -> None:
+        """Deliver every arrival due at (or before) now, then re-arm."""
+        arrivals = self._arrival_list
+        now = self.sim.now
+        wire = self.wire_latency_ns
+        i = self._next_idx
+        n = len(arrivals)
+        while i < n:
+            t = arrivals[i]
+            if t + wire > now:
+                break
+            i += 1
+            self._next_idx = i
+            self.sent += 1
+            if not self.nic.receive(self._make_packet(t)):
+                self.dropped += 1
+        self._ring_next()
+
+    def _make_packet(self, created_ns: int) -> Packet:
         self._flow_counter += 1
         flow_id = (self._flow_counter if self.n_flows is None
                    else self._flow_counter % self.n_flows)
-        request = self.request_factory(flow_id, t)
-        packet = Packet(flow_id=request.flow_id,
-                        size_bytes=request.size_bytes,
-                        created_ns=t, request=request)
+        request = self.request_factory(flow_id, created_ns)
+        return Packet(flow_id=request.flow_id,
+                      size_bytes=request.size_bytes,
+                      created_ns=created_ns, request=request)
+
+    # -- legacy path: one send event + one arrival event per request ---- #
+
+    def _schedule_next(self) -> None:
+        if self._next_idx >= len(self._arrival_list):
+            return
+        t = self._arrival_list[self._next_idx]
+        self.sim.schedule_at(max(t, self.sim.now), self._send_one)
+
+    def _send_one(self) -> None:
+        t = self._arrival_list[self._next_idx]
+        self._next_idx += 1
+        packet = self._make_packet(t)
         # The request was *created* at t; it reaches the server NIC one
         # wire latency later (we are already at t when this event runs).
         self.sim.schedule(self.wire_latency_ns, self._arrive, packet)
@@ -88,13 +133,39 @@ class OpenLoopClient:
 
     def on_response(self, packet: Packet) -> None:
         """Wire this as the stack's response sink."""
+        self.on_response_at(packet, self.sim.now)
+
+    def on_response_at(self, packet: Packet, deliver_ns: int) -> None:
+        """Record a response that reaches the client at ``deliver_ns``.
+
+        Recording is the open-loop client's only reaction to a response,
+        so the NIC can call this synchronously at transmit time with the
+        (deterministic) future delivery timestamp instead of scheduling a
+        wire-delay event per response. :meth:`finalize` later drops the
+        records whose delivery falls past the simulated horizon — exactly
+        the events that would never have fired.
+        """
         request = packet.request
         if request is None:
             return
-        request.completed_ns = self.sim.now
+        request.completed_ns = deliver_ns
         self.completed += 1
-        self._latencies.append(request.completed_ns - request.created_ns)
-        self._completion_times.append(request.completed_ns)
+        self._latencies.append(deliver_ns - request.created_ns)
+        self._completion_times.append(deliver_ns)
+
+    def finalize(self, t_end: int) -> None:
+        """Drop records delivered after ``t_end`` (responses in flight at
+        the end of the run, which the event-per-response path would never
+        have delivered). Completion times are recorded in transmit order,
+        which is monotone in delivery time, so this trims the tail."""
+        times = self._completion_times
+        keep = len(times)
+        while keep and times[keep - 1] > t_end:
+            keep -= 1
+        if keep != len(times):
+            del times[keep:]
+            del self._latencies[keep:]
+            self.completed = keep
 
     def latencies_ns(self) -> np.ndarray:
         """End-to-end latencies (int64 ns) of completed requests."""

@@ -1,0 +1,62 @@
+"""Stable config hashing (the cache key of every run)."""
+
+import numpy as np
+
+import repro.experiments.confighash as confighash
+from repro.experiments.confighash import (MODEL_VERSION, canonicalize,
+                                          config_digest, run_key)
+from repro.system import ServerConfig
+from repro.units import MS
+
+
+def test_equal_configs_hash_identically():
+    a = ServerConfig(app="nginx", load_level="low", n_cores=2, seed=9)
+    b = ServerConfig(seed=9, n_cores=2, load_level="low", app="nginx")
+    assert a == b
+    assert config_digest(a) == config_digest(b)
+    assert run_key(a, 20 * MS) == run_key(b, 20 * MS)
+
+
+def test_dict_insertion_order_does_not_matter():
+    a = ServerConfig(app_params={"x": 1, "y": 2},
+                     freq_governor_params={"up": 0.8, "down": 0.2})
+    b = ServerConfig(app_params={"y": 2, "x": 1},
+                     freq_governor_params={"down": 0.2, "up": 0.8})
+    assert run_key(a, 20 * MS) == run_key(b, 20 * MS)
+
+
+def test_any_field_change_changes_key():
+    base = ServerConfig()
+    key = run_key(base, 20 * MS)
+    assert run_key(base.with_overrides(seed=1), 20 * MS) != key
+    assert run_key(base.with_overrides(n_cores=4), 20 * MS) != key
+    assert run_key(base.with_overrides(app_params={"z": 1}), 20 * MS) != key
+    assert run_key(base, 21 * MS) != key
+
+
+def test_model_version_namespaces_keys(monkeypatch):
+    base = ServerConfig()
+    key = confighash.run_key(base, MS)
+    monkeypatch.setattr(confighash, "MODEL_VERSION",
+                        MODEL_VERSION + "-other")
+    assert confighash.run_key(base, MS) != key
+
+
+def test_canonicalize_primitives_and_numpy():
+    assert canonicalize(np.int64(5)) == 5
+    assert canonicalize(np.float64(1.5)) == 1.5
+    assert (canonicalize(np.array([1, 2, 3]))
+            == canonicalize(np.array([1, 2, 3])))
+    assert (canonicalize(np.array([1, 2, 3]))
+            != canonicalize(np.array([1, 2, 4])))
+    assert canonicalize({"b": 1, "a": 2}) == canonicalize({"a": 2, "b": 1})
+    assert canonicalize((1, "x")) == canonicalize([1, "x"])
+
+
+def test_plain_objects_canonicalize_by_class_and_state():
+    class Shape:
+        def __init__(self, rate):
+            self.rate = rate
+
+    assert canonicalize(Shape(10)) == canonicalize(Shape(10))
+    assert canonicalize(Shape(10)) != canonicalize(Shape(11))

@@ -1,0 +1,167 @@
+"""Stress tests of the event-kernel fast path.
+
+The run loop is inlined into :meth:`Simulator.run_until` (heap access,
+cancelled-head dropping, freelist reuse), so these tests hammer exactly
+the paths a slip there would corrupt: same-timestamp FIFO order through
+recycled event shells, cancellation-heavy counter bookkeeping, and the
+refcount guard that keeps externally-held handles out of the freelist.
+"""
+
+from repro.sim.simulator import Simulator
+
+
+def test_cancellation_heavy_counters_stay_consistent():
+    sim = Simulator()
+    queue = sim._queue
+    fired = []
+    events = [sim.schedule(i % 97, fired.append, i) for i in range(2000)]
+    cancelled = 0
+    for i, ev in enumerate(events):
+        if i % 3 == 0:
+            ev.cancel()
+            ev.cancel()  # idempotent
+            cancelled += 1
+    del events, ev
+    sim.run_until(100)
+    assert len(fired) == 2000 - cancelled
+    assert sim.events_processed == 2000 - cancelled
+    assert queue.scheduled_total == 2000
+    assert queue.cancelled_total == cancelled
+    # The lifetime invariant: every scheduled event either fired, was
+    # cancelled, or is still live.
+    assert (queue.scheduled_total
+            == sim.events_processed + queue.cancelled_total + len(queue))
+    assert len(queue) == 0
+
+
+def test_same_timestamp_fifo_survives_recycling():
+    sim = Simulator()
+    queue = sim._queue
+    order = []
+    # Prime the freelist: cancelled events are recycled when the run loop
+    # drops them off the heap (handles released first).
+    victims = [sim.schedule(1, order.append, -1) for _ in range(50)]
+    for ev in victims:
+        ev.cancel()
+    del victims, ev
+    sim.run_until(2)
+    assert order == []
+    assert len(queue._free) > 0
+    # Same-timestamp events must fire in scheduling order even when their
+    # shells come out of the freelist with stale (time, seq) fields.
+    for i in range(200):
+        sim.schedule_at(10, order.append, i)
+    assert queue.recycled_total > 0
+    sim.run_until(10)
+    assert order == list(range(200))
+
+
+def test_run_until_matches_step_semantics():
+    """The inlined fast path and the step() slow path fire identically."""
+    def build(record):
+        sim = Simulator()
+
+        def chain(depth):
+            record.append((sim.now, depth))
+            if depth < 50:
+                sim.schedule(0, chain, depth + 1)  # same-timestamp chain
+                victim = sim.schedule(1, record.append, ("victim", depth))
+                victim.cancel()
+
+        sim.schedule(5, chain, 0)
+        return sim
+
+    fast, slow = [], []
+    build(fast).run_until(100)
+    stepped = build(slow)
+    while stepped.step():
+        pass
+    assert fast == slow
+
+
+def test_periodic_timer_stop_during_fire():
+    sim = Simulator()
+    ticks = []
+    timers = []
+
+    def tick():
+        ticks.append(sim.now)
+        if len(ticks) == 3:
+            timers[0].stop()
+
+    timers.append(sim.every(10, tick))
+    sim.run_until(1000)
+    assert ticks == [10, 20, 30]
+    assert timers[0].stopped
+    assert sim.pending_events == 0
+
+
+def test_cancel_paths_share_one_implementation():
+    sim = Simulator()
+    queue = sim._queue
+    a = sim.schedule(5, lambda: None)
+    b = sim.schedule(6, lambda: None)
+    assert len(queue) == 2
+    a.cancel()
+    assert len(queue) == 1
+    queue.cancel(b)  # delegates to Event.cancel
+    assert len(queue) == 0
+    assert queue.cancelled_total == 2
+    # Idempotent through either handle.
+    a.cancel()
+    queue.cancel(b)
+    assert queue.cancelled_total == 2
+    sim.run_until(10)
+    assert sim.events_processed == 0
+
+
+def test_cancel_through_stale_handle_is_harmless():
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(1, fired.append, 1)
+    sim.run_until(10)
+    assert fired == [1]
+    # The event already fired; a late cancel through the retained handle
+    # must not disturb live accounting or any later event.
+    ev.cancel()
+    assert sim.pending_events == 0
+    assert sim._queue.cancelled_total == 0
+    sim.schedule(1, fired.append, 2)
+    sim.run_until(20)
+    assert fired == [1, 2]
+
+
+def test_retained_handle_is_never_recycled():
+    sim = Simulator()
+    ev = sim.schedule(1, lambda: None)
+    sim.run_until(5)
+    # We still hold `ev`, so the refcount guard must have kept it out of
+    # the freelist: the next push allocates a distinct object.
+    ev2 = sim.schedule(1, lambda: None)
+    assert ev2 is not ev
+    assert sim._queue.recycled_total == 0
+
+
+def test_unreferenced_fired_events_are_recycled():
+    sim = Simulator()
+    count = [0]
+
+    def bump():
+        count[0] += 1
+
+    for i in range(100):
+        sim.schedule(i, bump)
+    sim.run_until(200)
+    assert count[0] == 100
+    queue = sim._queue
+    assert len(queue._free) > 0
+    before = queue.recycled_total
+    sim.schedule(10, bump)
+    assert queue.recycled_total == before + 1
+
+
+def test_step_path_recycles_too():
+    sim = Simulator()
+    sim.schedule(1, lambda: None)
+    assert sim.step()
+    assert len(sim._queue._free) == 1

@@ -1,0 +1,49 @@
+"""batch_events fast paths vs legacy per-packet event scheduling.
+
+The batched client doorbell, chained ACK trains, and synchronous
+future-stamped response delivery are pure event-count optimizations:
+packet arrival and response delivery *times* are unchanged, so a run
+with ``batch_events=False`` (one heap entry per packet, the seed's
+behaviour) must produce bit-identical results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.system import ServerConfig, ServerSystem
+from repro.units import MS
+
+
+def _run(app: str, batch: bool):
+    config = ServerConfig(app=app, load_level="low", n_cores=1,
+                          freq_governor="performance", seed=33,
+                          batch_events=batch)
+    return ServerSystem(config).run(15 * MS)
+
+
+@pytest.mark.parametrize("app", ["memcached", "nginx"])
+def test_batched_and_legacy_event_paths_bit_identical(app):
+    batched = _run(app, True)
+    legacy = _run(app, False)
+    assert batched.sent == legacy.sent
+    assert batched.completed == legacy.completed
+    assert batched.dropped == legacy.dropped
+    assert np.array_equal(batched.latencies_ns, legacy.latencies_ns)
+    assert np.array_equal(batched.completion_times_ns,
+                          legacy.completion_times_ns)
+    assert batched.energy.package_j == legacy.energy.package_j
+    assert batched.pkts_interrupt_mode == legacy.pkts_interrupt_mode
+    assert batched.pkts_polling_mode == legacy.pkts_polling_mode
+    assert batched.ksoftirqd_wakeups == legacy.ksoftirqd_wakeups
+
+
+def test_batching_shrinks_the_heap():
+    """The point of the fast path: far fewer events for the same run.
+
+    nginx's multi-segment responses are the stress case — per-packet
+    scheduling floods the heap with ACK and wire-delay events."""
+    batched = _run("nginx", True)
+    legacy = _run("nginx", False)
+    assert batched.perf is not None and legacy.perf is not None
+    assert batched.perf.events_scheduled < legacy.perf.events_scheduled
+    assert batched.perf.heap_peak <= legacy.perf.heap_peak
