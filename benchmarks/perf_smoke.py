@@ -7,12 +7,20 @@ steady stream of armed-then-cancelled timeouts (the scheduler and NIC
 moderation pattern) — and records the sustained events/sec into
 ``BENCH_eventloop.json`` so the perf trajectory is tracked across PRs.
 
+Figures come from one source of truth: the kernel's own
+:class:`~repro.sim.perf.PerfSnapshot`, exported through a
+:class:`~repro.obs.TelemetryRegistry` — the same gauges every
+``RunResult`` carries, so the benchmark record and run telemetry can
+never disagree on definitions.
+
+A second pass re-runs the mix with a *disabled* ``TraceRecorder.record``
+call per burst event, measuring the observability hot-path tax when
+tracing is off. ``--assert-overhead PCT`` turns that into a CI gate.
+
 Usage::
 
-    PYTHONPATH=src python benchmarks/perf_smoke.py [--out PATH] [--rounds N]
-
-The script only needs ``repro.sim``; it computes throughput from its own
-event counts, so it runs unmodified against any revision of the kernel.
+    PYTHONPATH=src python benchmarks/perf_smoke.py [--out PATH]
+        [--rounds N] [--assert-overhead PCT]
 """
 
 from __future__ import annotations
@@ -25,26 +33,34 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.obs import TelemetryRegistry  # noqa: E402
 from repro.sim.simulator import Simulator  # noqa: E402
-
-#: Events scheduled per workload round (see _arm_round): 8 burst + 1
-#: cancelled timeout + 1 chain continuation.
-_PER_ROUND_SCHEDULED = 10
-_PER_ROUND_CANCELLED = 1
+from repro.sim.trace import TraceRecorder  # noqa: E402
 
 
 def _noop() -> None:
     pass
 
 
-def _run_mix(n_rounds: int) -> dict:
-    """One measured pass; returns counts and wall time."""
+def _run_mix(n_rounds: int, recorder: TraceRecorder = None) -> dict:
+    """One measured pass; returns the kernel's snapshot as gauge values.
+
+    With ``recorder`` set, every burst event also issues one (disabled)
+    ``record`` call — the per-event cost a run with tracing compiled in
+    but switched off would pay.
+    """
     sim = Simulator()
+
+    if recorder is None:
+        burst_cb = _noop
+    else:
+        def burst_cb() -> None:
+            recorder.record("bench.burst", 0)
 
     def arm_round(i: int) -> None:
         # A burst of same-timestamp events (packet arrivals).
         for _ in range(8):
-            sim.schedule(10, _noop)
+            sim.schedule(10, burst_cb)
         # A timeout armed and immediately cancelled (timer churn).
         sim.schedule(1_000, _noop).cancel()
         if i + 1 < n_rounds:
@@ -57,15 +73,15 @@ def _run_mix(n_rounds: int) -> dict:
     sim.run_until(n_rounds * 7 + 100)
     wall_s = time.perf_counter() - t_start
     timer.stop()
-    scheduled = n_rounds * _PER_ROUND_SCHEDULED
-    return {
-        "rounds": n_rounds,
-        "events_scheduled": scheduled,
-        "events_fired": sim.events_processed,
-        "events_cancelled": n_rounds * _PER_ROUND_CANCELLED,
-        "wall_s": wall_s,
-        "events_per_sec": scheduled / wall_s if wall_s > 0 else 0.0,
-    }
+
+    registry = TelemetryRegistry()
+    sim.perf_snapshot(wall_s=wall_s).register_into(registry)
+    return {name: instrument.value
+            for name, _labels, _kind, instrument in registry.items()}
+
+
+def _best(passes: list) -> dict:
+    return max(passes, key=lambda p: p["sim_events_per_sec"])
 
 
 def main(argv=None) -> int:
@@ -74,26 +90,50 @@ def main(argv=None) -> int:
                         help="workload rounds per pass (10 events each)")
     parser.add_argument("--passes", type=int, default=3,
                         help="measured passes; the best is recorded")
+    parser.add_argument("--assert-overhead", type=float, default=None,
+                        metavar="PCT",
+                        help="fail if the disabled-tracing pass is more "
+                             "than PCT%% slower than the baseline")
     parser.add_argument("--out", type=Path,
                         default=Path(__file__).resolve().parent.parent
                         / "BENCH_eventloop.json",
                         help="where to write the JSON record")
     args = parser.parse_args(argv)
 
-    passes = [_run_mix(args.rounds) for _ in range(args.passes)]
-    best = max(passes, key=lambda p: p["events_per_sec"])
+    base_passes = [_run_mix(args.rounds) for _ in range(args.passes)]
+    base = _best(base_passes)
+
+    recorder = TraceRecorder(enabled=False)
+    traced = _best([_run_mix(args.rounds, recorder=recorder)
+                    for _ in range(args.passes)])
+    assert "bench.burst" not in recorder, "disabled recorder stored samples"
+    overhead_pct = 100.0 * (traced["sim_wall_seconds"]
+                            / base["sim_wall_seconds"] - 1.0) \
+        if base["sim_wall_seconds"] > 0 else 0.0
+
     record = {
         "benchmark": "eventloop schedule/fire/cancel mix",
         "python": sys.version.split()[0],
+        "rounds": args.rounds,
         "best": {k: (round(v, 4) if isinstance(v, float) else v)
-                 for k, v in best.items()},
-        "all_passes_events_per_sec": [round(p["events_per_sec"])
-                                      for p in passes],
+                 for k, v in base.items()},
+        "all_passes_events_per_sec": [round(p["sim_events_per_sec"])
+                                      for p in base_passes],
+        "tracing_disabled_overhead_pct": round(overhead_pct, 2),
     }
-    record["best"]["events_per_sec"] = round(best["events_per_sec"])
+    record["best"]["sim_events_per_sec"] = round(
+        base["sim_events_per_sec"])
     args.out.write_text(json.dumps(record, indent=2) + "\n")
-    print(f"{record['best']['events_per_sec']:,} events/s "
-          f"(best of {args.passes}) -> {args.out}")
+    print(f"{record['best']['sim_events_per_sec']:,} events/s "
+          f"(best of {args.passes}); disabled-tracing overhead "
+          f"{overhead_pct:+.1f}% -> {args.out}")
+
+    if args.assert_overhead is not None \
+            and overhead_pct > args.assert_overhead:
+        print(f"FAIL: disabled-tracing overhead {overhead_pct:.1f}% "
+              f"exceeds the {args.assert_overhead:.1f}% budget",
+              file=sys.stderr)
+        return 1
     return 0
 
 

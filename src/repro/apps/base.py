@@ -55,6 +55,9 @@ class AppWorkerThread(SimThread):
         self.stack = stack
         socket.consumer = self
         self.requests_served = 0
+        #: Cumulative service cycles accepted (telemetry: per-core
+        #: application demand, independent of the frequency it ran at).
+        self.service_cycles_total = 0.0
         # Reusable Work shell + the request it currently serves. The
         # round-robin scheduler keeps one chunk in flight per thread, so
         # re-arming the shell is safe and avoids a Work + closure
@@ -73,6 +76,7 @@ class AppWorkerThread(SimThread):
         request.started_ns = now
         request.core_id = self.core_id
         cycles = request.service_cycles + self.app.tx_cycles
+        self.service_cycles_total += cycles
         self._serving = request
         work = self._work
         if work is None:

@@ -134,6 +134,9 @@ class Core:
         self._acct_busy = False  # busy or waking counts as busy
 
         self.works_completed = 0
+        #: Effective P-state changes applied (telemetry; no-op requests
+        #: for the current state don't count).
+        self.pstate_changes = 0
         #: Called as ``listener(core)`` after each effective P-state change
         #: (used by the processor for uncore frequency scaling).
         self.pstate_listeners = []
@@ -415,6 +418,7 @@ class Core:
         self._account()
         self.pstate_index = index
         self._freq_hz = self.pstates.freq_of(index)
+        self.pstate_changes += 1
         self._update_power()
         if self.trace is not None:
             self.trace.record(f"core{self.core_id}.pstate", self.sim.now, index)

@@ -7,6 +7,8 @@ Usage::
     python -m repro.experiments --full tab1     # paper-sized run
     python -m repro.experiments --workers 4 fig12   # parallel grid cells
     python -m repro.experiments --markdown out.md
+    python -m repro.experiments trace fig9      # Perfetto span trace
+    python -m repro.experiments report fig9 --telemetry
 
 Independent simulation runs fan out over ``--workers`` processes (or
 ``REPRO_WORKERS``); results are bit-identical to serial runs. Finished
@@ -27,6 +29,14 @@ from repro.experiments.registry import EXPERIMENTS, run_experiment
 
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # Observability subcommands keep their own flag sets; everything else
+    # flows through the legacy positional-ids interface below.
+    if argv and argv[0] in ("trace", "report"):
+        from repro.experiments import tracecli
+        handler = tracecli.cmd_trace if argv[0] == "trace" \
+            else tracecli.cmd_report
+        return handler(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.experiments",
         description="Reproduce the NMAP paper's tables and figures.")

@@ -18,8 +18,7 @@ def mode_series(result: RunResult, core_id: int,
     out: Dict[str, np.ndarray] = {}
     for mode in ("interrupt", "polling"):
         channel = f"core{core_id}.pkts_{mode}"
-        times = trace.times(channel)
-        weights = trace.values(channel)
+        times, weights = trace.to_arrays(channel)
         bins, sums = bin_counts(times, result.duration_ns, bin_ns,
                                 weights=weights if weights.size else None)
         out["bins"] = bins
@@ -31,8 +30,8 @@ def pstate_series(result: RunResult, core_id: int,
                   bin_ns: int = 1 * MS) -> np.ndarray:
     """P-state index sampled per bin (initial state is P0)."""
     trace = result.trace
-    channel = f"core{core_id}.pstate"
-    _, values = bin_last_value(trace.times(channel), trace.values(channel),
+    times, values = trace.to_arrays(f"core{core_id}.pstate")
+    _, values = bin_last_value(times, values,
                                result.duration_ns, bin_ns, initial=0.0)
     return values
 
@@ -51,9 +50,7 @@ def boost_delays_ms(result: RunResult, core_id: int,
     state), since a pre-existing P0 is not a reaction.
     """
     trace = result.trace
-    channel = f"core{core_id}.pstate"
-    times = trace.times(channel)
-    values = trace.values(channel)
+    times, values = trace.to_arrays(f"core{core_id}.pstate")
     n_periods = result.duration_ns // period_ns
     delays: List[Optional[float]] = []
     for k in range(1, int(n_periods)):

@@ -38,10 +38,9 @@ def export_mode_series_csv(result, core_id: int, path: str,
     columns = {}
     for mode in ("interrupt", "polling"):
         channel = f"core{core_id}.pkts_{mode}"
-        bins, sums = bin_counts(trace.times(channel), result.duration_ns,
-                                bin_ns,
-                                weights=trace.values(channel)
-                                if channel in trace else None)
+        times, values = trace.to_arrays(channel)
+        bins, sums = bin_counts(times, result.duration_ns, bin_ns,
+                                weights=values if channel in trace else None)
         columns["bin_start_ns"] = bins
         columns[mode] = sums
     with open(path, "w", newline="") as fh:

@@ -18,11 +18,17 @@ def percentile_ns(latencies_ns: np.ndarray, pct: float) -> float:
 
 
 def fraction_over(latencies_ns: np.ndarray, threshold_ns: float) -> float:
-    """Fraction of samples strictly above ``threshold_ns``."""
-    if len(latencies_ns) == 0:
+    """Fraction of samples strictly above ``threshold_ns``.
+
+    NaN samples would silently count as "not over" (NaN comparisons are
+    False), understating SLO violations — reject them instead.
+    """
+    lat = np.asarray(latencies_ns, dtype=float)
+    if lat.size == 0:
         raise ValueError("empty latency sample")
-    return float(np.count_nonzero(np.asarray(latencies_ns) > threshold_ns)
-                 / len(latencies_ns))
+    if np.isnan(lat).any():
+        raise ValueError("latency sample contains NaN")
+    return float(np.count_nonzero(lat > threshold_ns) / lat.size)
 
 
 def cdf_points(latencies_ns: np.ndarray,

@@ -88,6 +88,9 @@ class NapiContext:
         self._session_iterations = 0
         self._session_packets = 0
         self._next_poll_is_interrupt_mode = False
+        #: Span tracing enabled (set by the system builder); guards the
+        #: per-batch stamping loop so untraced runs pay nothing.
+        self.tracing = False
 
         # Reusable Work shells, one per lifecycle slot. The state machine
         # guarantees at most one of each is in flight (irq masked while
@@ -190,8 +193,21 @@ class NapiContext:
                 append(pkt)
         return data_packets, n_rx, cycles
 
+    def _stamp_poll_grab(self, rx_packets: list, deferred: bool) -> None:
+        """Record the rx-queue -> poll-batch boundary on sampled requests."""
+        now = self.sim.now
+        for pkt in rx_packets:
+            request = pkt.request
+            if request is not None:
+                ctx = request.trace
+                if ctx is not None:
+                    ctx.poll_ns = now
+                    ctx.via_ksoftirqd = deferred
+
     def _submit_softirq_poll(self) -> None:
         rx_packets, n_rx, cycles = self._grab_batch()
+        if self.tracing and rx_packets:
+            self._stamp_poll_grab(rx_packets, deferred=False)
         work = self._softirq_work
         if work is None:
             self._softirq_work = work = Work(
@@ -214,6 +230,8 @@ class NapiContext:
             self._finish_session()
             return None
         rx_packets, n_rx, cycles = self._grab_batch()
+        if self.tracing and rx_packets:
+            self._stamp_poll_grab(rx_packets, deferred=True)
         work = self._deferred_work
         if work is None:
             self._deferred_work = work = Work(

@@ -48,6 +48,9 @@ class NetworkStack:
         self.processor = processor
         self.nic = nic
         self.config = config or StackConfig()
+        #: Span tracing enabled (set by the system builder); guards the
+        #: per-packet boundary stamps.
+        self.tracing = False
         self._response_sink: Optional[Callable[[Packet], None]] = None
         #: Optional synchronous variant ``response_sink_at(packet, t_ns)``
         #: for passive receivers (pure recorders): the NIC then notifies
@@ -90,6 +93,10 @@ class NetworkStack:
         self.response_sink_at = None
 
     def _deliver(self, packet: Packet, core_id: int) -> None:
+        if self.tracing:
+            request = packet.request
+            if request is not None and request.trace is not None:
+                request.trace.sock_ns = self.sim.now
         self.sockets[core_id].deliver(packet)
 
     def send_response(self, request, core_id: int) -> None:
@@ -102,6 +109,8 @@ class NetworkStack:
         """
         if self.response_sink is None:
             raise RuntimeError("response_sink not wired")
+        if self.tracing and request.trace is not None:
+            request.trace.tx_ns = self.sim.now
         n_segments = max(1, -(-int(request.response_bytes)
                               // self.config.mss_bytes))
         last_size = (int(request.response_bytes)

@@ -47,6 +47,10 @@ class MultiQueueNic:
         #: latency-critical-request filter counts).
         self.rx_data_packets = 0
         self.tx_packets = 0
+        #: Span tracing enabled (set by the system builder when a run
+        #: samples requests); guards the per-packet stamp so the untraced
+        #: hot path pays nothing.
+        self.tracing = False
         #: Consumed bare-ACK packets, returned by the poll loop for the
         #: stack's ACK generator to re-stamp (ACK floods of multi-segment
         #: responses otherwise allocate one short-lived Packet per ACK).
@@ -78,6 +82,10 @@ class MultiQueueNic:
         self.rx_packets += 1
         if packet.kind == Packet.KIND_DATA and packet.request is not None:
             self.rx_data_packets += 1
+            if self.tracing:
+                ctx = packet.request.trace
+                if ctx is not None:
+                    ctx.nic_rx_ns = self.sim.now
         # Inline the common no-op guards: under load the interrupt is
         # masked or already pending for nearly every packet of a burst,
         # so one batched irq event serves N arrivals (moderation + NAPI).

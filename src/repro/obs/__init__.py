@@ -1,0 +1,24 @@
+"""Observability: request span tracing, telemetry registry, exporters.
+
+Three pillars (see docs/OBSERVABILITY.md):
+
+* :mod:`repro.obs.span` — end-to-end request tracing. Sampled requests
+  carry a :class:`~repro.obs.span.TraceContext`; instrumentation points
+  in the NIC, NAPI, socket, application, and client layers stamp stage
+  boundaries so a request's latency decomposes exactly into named spans.
+* :mod:`repro.obs.registry` — typed Counter/Gauge/Histogram instruments
+  with labels (core, subsystem), merged into ``RunResult.telemetry``.
+* :mod:`repro.obs.perfetto` / :mod:`repro.obs.prometheus` — exporters:
+  Chrome/Perfetto ``trace_event`` JSON and Prometheus text format.
+"""
+
+from repro.obs.registry import Counter, Gauge, Histogram, TelemetryRegistry
+from repro.obs.span import (STAGES, RequestTrace, SpanLog, TraceContext)
+from repro.obs.perfetto import perfetto_trace, write_perfetto
+from repro.obs.prometheus import prometheus_text
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "TelemetryRegistry",
+    "STAGES", "RequestTrace", "SpanLog", "TraceContext",
+    "perfetto_trace", "write_perfetto", "prometheus_text",
+]

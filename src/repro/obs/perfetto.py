@@ -1,0 +1,131 @@
+"""Chrome/Perfetto ``trace_event`` JSON export.
+
+Renders a :class:`~repro.system.RunResult` as a Trace Event Format file
+loadable by https://ui.perfetto.dev (or chrome://tracing):
+
+* **Request spans** (``RunResult.spans``): one complete event (``ph:X``)
+  per stage of every sampled request, on the thread track of the core
+  that served it. Exact nanosecond bounds ride in ``args`` (the ``ts``
+  field is microseconds, the format's unit).
+* **Mode/power timelines** (``RunResult.trace`` channels): counter
+  events (``ph:C``) for P-state / C-state / NMAP-mode channels and
+  instant events (``ph:i``) for point occurrences (ksoftirqd wakes).
+
+Two synthetic processes keep the UI tidy: pid 1 = sampled request spans
+(one thread per core), pid 2 = telemetry timelines (one thread per
+channel).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+_PID_SPANS = 1
+_PID_CHANNELS = 2
+
+#: Channels that mark point events rather than level changes.
+_INSTANT_SUFFIXES = ("ksoftirqd_wake",)
+
+
+def _us(time_ns: int) -> float:
+    return time_ns / 1000.0
+
+
+def _span_events(span_log) -> List[dict]:
+    events: List[dict] = [{
+        "name": "process_name", "ph": "M", "pid": _PID_SPANS, "tid": 0,
+        "args": {"name": "requests (sampled spans)"},
+    }]
+    cores = set()
+    for record in span_log.records:
+        tid = record.core_id if record.core_id is not None else 0
+        cores.add(tid)
+        for stage, start_ns, dur_ns in record.spans():
+            events.append({
+                "name": stage,
+                "cat": "request",
+                "ph": "X",
+                "ts": _us(start_ns),
+                "dur": _us(dur_ns),
+                "pid": _PID_SPANS,
+                "tid": tid,
+                "args": {
+                    "request_id": record.request_id,
+                    "kind": record.kind,
+                    "start_ns": start_ns,
+                    "dur_ns": dur_ns,
+                    "via_ksoftirqd": record.via_ksoftirqd,
+                },
+            })
+    for tid in sorted(cores):
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": _PID_SPANS, "tid": tid,
+            "args": {"name": f"core{tid}"},
+        })
+    return events
+
+
+def _channel_events(trace) -> List[dict]:
+    events: List[dict] = [{
+        "name": "process_name", "ph": "M", "pid": _PID_CHANNELS, "tid": 0,
+        "args": {"name": "telemetry channels"},
+    }]
+    for tid, channel in enumerate(sorted(trace.channels())):
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": _PID_CHANNELS,
+            "tid": tid,
+            "args": {"name": channel},
+        })
+        instant = channel.endswith(_INSTANT_SUFFIXES)
+        for time_ns, value in trace.samples(channel):
+            if instant:
+                events.append({
+                    "name": channel, "cat": "telemetry", "ph": "i",
+                    "ts": _us(time_ns), "pid": _PID_CHANNELS, "tid": tid,
+                    "s": "t",
+                })
+            else:
+                events.append({
+                    "name": channel, "cat": "telemetry", "ph": "C",
+                    "ts": _us(time_ns), "pid": _PID_CHANNELS, "tid": tid,
+                    "args": {"value": float(value)},
+                })
+    return events
+
+
+def perfetto_trace(result, include_channels: bool = True) -> dict:
+    """The Trace Event Format document for one run (a JSON-able dict)."""
+    events: List[dict] = []
+    span_log = getattr(result, "spans", None)
+    if span_log is not None and len(span_log):
+        events.extend(_span_events(span_log))
+    trace = getattr(result, "trace", None)
+    if include_channels and trace is not None:
+        channels = list(trace.channels())
+        if channels:
+            events.extend(_channel_events(trace))
+    meta: Dict[str, object] = {
+        "model": "repro-nmap",
+        "duration_ns": getattr(result, "duration_ns", None),
+    }
+    config = getattr(result, "config", None)
+    if config is not None:
+        meta["app"] = config.app
+        meta["freq_governor"] = config.freq_governor
+        meta["seed"] = config.seed
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": meta,
+    }
+
+
+def write_perfetto(result, path: str,
+                   include_channels: bool = True) -> int:
+    """Write the Perfetto JSON for ``result``; returns the event count."""
+    doc = perfetto_trace(result, include_channels=include_channels)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, separators=(",", ":"))
+        fh.write("\n")
+    return len(doc["traceEvents"])

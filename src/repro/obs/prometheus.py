@@ -1,0 +1,81 @@
+"""Prometheus text-format rendering of a :class:`TelemetryRegistry`.
+
+Implements the exposition format (v0.0.4) subset that covers the three
+instrument kinds: ``# HELP``/``# TYPE`` headers, labelled samples, and
+histogram ``_bucket``/``_sum``/``_count`` series with cumulative ``le``
+bounds. The output is stable (sorted names and label sets), so golden
+files can diff it.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List
+
+from repro.obs.registry import Histogram, TelemetryRegistry
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _sanitize_name(name: str) -> str:
+    name = _NAME_OK.sub("_", name)
+    if not name or name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r'\"')
+
+
+def _render_labels(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [f'{_LABEL_OK.sub("_", k)}="{_escape(v)}"'
+             for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == math.inf:
+            return "+Inf"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return repr(value)
+    return str(value)
+
+
+def prometheus_text(registry: TelemetryRegistry) -> str:
+    """The registry in Prometheus exposition format (trailing newline)."""
+    lines: List[str] = []
+    seen_header = set()
+    for name, labels, kind, instrument in registry.items():
+        metric = _sanitize_name(name)
+        if metric not in seen_header:
+            seen_header.add(metric)
+            help_text = registry.help_of(name)
+            if help_text:
+                lines.append(f"# HELP {metric} {_escape(help_text)}")
+            lines.append(f"# TYPE {metric} {kind}")
+        if isinstance(instrument, Histogram):
+            for le, cum in instrument.cumulative_buckets():
+                label_str = _render_labels(labels, f'le="{_fmt(le)}"')
+                lines.append(f"{metric}_bucket{label_str} {cum}")
+            label_str = _render_labels(labels)
+            lines.append(f"{metric}_sum{label_str} {_fmt(instrument.sum)}")
+            lines.append(f"{metric}_count{label_str} {instrument.count}")
+        else:
+            label_str = _render_labels(labels)
+            lines.append(f"{metric}{label_str} {_fmt(instrument.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(registry: TelemetryRegistry, path: str) -> int:
+    """Write the text dump to ``path``; returns the line count."""
+    text = prometheus_text(registry)
+    with open(path, "w") as fh:
+        fh.write(text)
+    return text.count("\n")

@@ -1,0 +1,258 @@
+"""Typed telemetry instruments: Counter, Gauge, log-bucketed Histogram.
+
+A :class:`TelemetryRegistry` holds uniquely-named instruments with label
+sets (``core="0"``, ``subsystem="netstack"``), mirroring the Prometheus
+data model so the text exporter is a direct rendering. Instruments are
+memoized per (name, labels): asking twice returns the same object, and
+registering one name under two different types is an error.
+
+Histograms bucket by powers of two — the right shape for nanosecond
+latencies spanning six orders of magnitude — and support bulk
+observation from numpy arrays so end-of-run merges stay cheap.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Highest finite bucket exponent: 2**40 ns ≈ 1100 s, far past any
+#: simulated latency; larger observations land in the overflow bucket.
+_MAX_EXP = 40
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: Union[int, float] = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counters only go up (inc by {n})")
+        self.value += n
+
+    def __getstate__(self):
+        return self.value
+
+    def __setstate__(self, state):
+        self.value = state
+
+
+class Gauge:
+    """A point-in-time value that can move either way."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+
+    def inc(self, n: Union[int, float] = 1) -> None:
+        self.value += n
+
+    def __getstate__(self):
+        return self.value
+
+    def __setstate__(self, state):
+        self.value = state
+
+
+class Histogram:
+    """A log2-bucketed histogram of non-negative values (typically ns).
+
+    Bucket ``k`` (k >= 1) counts observations in ``(2**(k-1), 2**k]``;
+    bucket 0 counts values <= 1. Values above ``2**_MAX_EXP`` land in the
+    overflow bucket. Counts live in a sparse dict keyed by exponent.
+    """
+
+    __slots__ = ("buckets", "count", "sum")
+
+    def __init__(self) -> None:
+        self.buckets: Dict[int, int] = {}
+        self.count = 0
+        self.sum = 0.0
+
+    @staticmethod
+    def bucket_index(value: Union[int, float]) -> int:
+        if value <= 1:
+            return 0
+        exp = math.ceil(math.log2(value))
+        # Guard float rounding at exact powers of two.
+        if (1 << (exp - 1)) >= value:
+            exp -= 1
+        return min(exp, _MAX_EXP + 1)
+
+    def observe(self, value: Union[int, float]) -> None:
+        if value < 0:
+            raise ValueError(f"histogram values must be >= 0, got {value}")
+        idx = self.bucket_index(value)
+        self.buckets[idx] = self.buckets.get(idx, 0) + 1
+        self.count += 1
+        self.sum += value
+
+    def observe_many(self, values: np.ndarray) -> None:
+        """Bulk-observe an array (the end-of-run merge path)."""
+        arr = np.asarray(values)
+        if arr.size == 0:
+            return
+        if np.any(arr < 0):
+            raise ValueError("histogram values must be >= 0")
+        clipped = np.maximum(arr.astype(np.float64), 1.0)
+        idx = np.ceil(np.log2(clipped)).astype(np.int64)
+        # Same power-of-two rounding guard as the scalar path.
+        idx = np.where((idx > 0) & (2.0 ** (idx - 1) >= clipped),
+                       idx - 1, idx)
+        idx = np.minimum(idx, _MAX_EXP + 1)
+        for exp, n in zip(*np.unique(idx, return_counts=True)):
+            exp = int(exp)
+            self.buckets[exp] = self.buckets.get(exp, 0) + int(n)
+        self.count += int(arr.size)
+        self.sum += float(arr.sum())
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ending at +inf."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for exp in sorted(k for k in self.buckets if k <= _MAX_EXP):
+            running += self.buckets[exp]
+            out.append((float(1 << exp), running))
+        out.append((math.inf, self.count))
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket containing the ``q`` quantile (0-1)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        running = 0
+        for exp in sorted(self.buckets):
+            running += self.buckets[exp]
+            if running >= target:
+                return float(1 << min(exp, _MAX_EXP + 1))
+        return float(1 << (_MAX_EXP + 1))
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def __getstate__(self):
+        return (self.buckets, self.count, self.sum)
+
+    def __setstate__(self, state):
+        self.buckets, self.count, self.sum = state
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class TelemetryRegistry:
+    """Named, labelled instruments of one run (or one process)."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple[str, LabelKey], Instrument] = {}
+        #: name -> (kind, help text); a name has exactly one kind.
+        self._meta: Dict[str, Tuple[str, str]] = {}
+
+    # ----------------------------------------------------------------- #
+    # Registration / lookup
+    # ----------------------------------------------------------------- #
+
+    @staticmethod
+    def _label_key(labels: Dict[str, object]) -> LabelKey:
+        return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+    def _get(self, kind: str, name: str, help: str,
+             labels: Dict[str, object]) -> Instrument:
+        if not name:
+            raise ValueError("instrument name must be non-empty")
+        meta = self._meta.get(name)
+        if meta is None:
+            self._meta[name] = (kind, help)
+        elif meta[0] != kind:
+            raise ValueError(f"{name!r} already registered as {meta[0]}, "
+                             f"cannot re-register as {kind}")
+        elif help and not meta[1]:
+            self._meta[name] = (kind, help)
+        key = (name, self._label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = _KINDS[kind]()
+            self._instruments[key] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        return self._get("counter", name, help, labels)  # type: ignore
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        return self._get("gauge", name, help, labels)  # type: ignore
+
+    def histogram(self, name: str, help: str = "", **labels) -> Histogram:
+        return self._get("histogram", name, help, labels)  # type: ignore
+
+    # ----------------------------------------------------------------- #
+    # Introspection
+    # ----------------------------------------------------------------- #
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def kind_of(self, name: str) -> Optional[str]:
+        meta = self._meta.get(name)
+        return meta[0] if meta else None
+
+    def help_of(self, name: str) -> str:
+        meta = self._meta.get(name)
+        return meta[1] if meta else ""
+
+    def items(self) -> Iterator[Tuple[str, Dict[str, str], str, Instrument]]:
+        """Yields ``(name, labels, kind, instrument)`` in sorted order."""
+        for (name, label_key) in sorted(self._instruments):
+            yield (name, dict(label_key), self._meta[name][0],
+                   self._instruments[(name, label_key)])
+
+    def value(self, name: str, **labels) -> Union[int, float]:
+        """The scalar value of a counter/gauge (histograms: the count)."""
+        key = (name, self._label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            raise KeyError(f"no instrument {name!r} with labels {labels}")
+        if isinstance(instrument, Histogram):
+            return instrument.count
+        return instrument.value
+
+    def total(self, name: str) -> Union[int, float]:
+        """Sum of a counter/gauge across all label sets."""
+        values = [inst.value for (n, _), inst in self._instruments.items()
+                  if n == name and not isinstance(inst, Histogram)]
+        if not values:
+            raise KeyError(f"no scalar instrument named {name!r}")
+        return sum(values)
+
+    def as_dict(self) -> Dict[str, Dict[str, object]]:
+        """Plain nested dict (for JSON reports): name -> label-str -> value."""
+        out: Dict[str, Dict[str, object]] = {}
+        for name, labels, kind, instrument in self.items():
+            label_str = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            if isinstance(instrument, Histogram):
+                value: object = {"count": instrument.count,
+                                 "sum": instrument.sum,
+                                 "mean": instrument.mean,
+                                 "buckets": dict(sorted(
+                                     instrument.buckets.items()))}
+            else:
+                value = instrument.value
+            out.setdefault(name, {})[label_str] = value
+        return out

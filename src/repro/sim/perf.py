@@ -63,6 +63,36 @@ class PerfSnapshot:
         d["recycle_ratio"] = round(self.recycle_ratio, 4)
         return d
 
+    def register_into(self, registry, subsystem: str = "sim") -> None:
+        """Export the snapshot as gauges of a telemetry registry.
+
+        One source of truth for event-kernel figures: ``RunResult``
+        telemetry, ``benchmarks/perf_smoke.py``, and the CLI reports all
+        read these gauges rather than recomputing rates their own way.
+        """
+        gauges = [
+            ("sim_events_scheduled", "Events pushed into the queue",
+             self.events_scheduled),
+            ("sim_events_fired", "Event callbacks executed",
+             self.events_fired),
+            ("sim_events_cancelled", "Events cancelled before firing",
+             self.events_cancelled),
+            ("sim_events_recycled", "Events served from the freelist",
+             self.events_recycled),
+            ("sim_heap_peak", "Maximum event-heap length observed",
+             self.heap_peak),
+            ("sim_wall_seconds", "Wall-clock seconds of the measured run",
+             self.wall_s),
+            ("sim_events_per_sec", "Fired events per wall-clock second",
+             self.events_per_sec),
+            ("sim_cancel_ratio", "Fraction of scheduled events cancelled",
+             self.cancel_ratio),
+            ("sim_recycle_ratio", "Fraction of events served from freelist",
+             self.recycle_ratio),
+        ]
+        for name, help_text, value in gauges:
+            registry.gauge(name, help_text, subsystem=subsystem).set(value)
+
     def describe(self) -> str:
         """One-line human summary."""
         rate = (f"{self.events_per_sec:,.0f} events/s"

@@ -2,7 +2,15 @@
 
 Experiments subscribe probes (ksoftirqd wakeups, P-state changes, packets
 per NAPI mode, C-state entries, ...) to named channels; the metrics layer
-bins and renders them. Recording is optional and cheap when disabled.
+bins and renders them. Recording is optional and cheap when disabled:
+instead of branching on ``enabled`` per call, a disabled recorder swaps
+its ``record`` attribute for a no-op bound method, so the hot path pays
+one attribute lookup and an empty call — no conditional.
+
+Reading back is array-oriented: :meth:`to_arrays` converts a channel to
+``(times, values)`` ndarrays once and memoizes the result (keyed by the
+channel's sample count, so late appends invalidate naturally), which
+keeps the metrics layer from rebuilding arrays on every access.
 """
 
 from __future__ import annotations
@@ -11,19 +19,55 @@ from typing import Any, Dict, Iterable, List, Tuple
 
 import numpy as np
 
+_EMPTY_TIMES = np.empty(0, dtype=np.int64)
+_EMPTY_VALUES = np.empty(0, dtype=float)
+
 
 class TraceRecorder:
     """Named channels of timestamped samples."""
 
     def __init__(self, enabled: bool = True):
-        self.enabled = enabled
         self._channels: Dict[str, List[Tuple[int, Any]]] = {}
+        #: Memoized (n_samples, times, values) per channel.
+        self._arrays: Dict[str, Tuple[int, np.ndarray, np.ndarray]] = {}
+        self.enabled = enabled  # property: swaps the record method
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, flag: bool) -> None:
+        """Toggle recording by swapping the ``record`` fast path.
+
+        Enabled exposes the class method (which appends unconditionally);
+        disabled shadows it with a no-op in the instance dict.
+        """
+        self._enabled = bool(flag)
+        if self._enabled:
+            self.__dict__.pop("record", None)
+        else:
+            self.__dict__["record"] = self._record_disabled
 
     def record(self, channel: str, time_ns: int, value: Any = 1) -> None:
         """Append ``(time_ns, value)`` to ``channel`` (no-op when disabled)."""
-        if not self.enabled:
-            return
-        self._channels.setdefault(channel, []).append((time_ns, value))
+        channels = self._channels
+        samples = channels.get(channel)
+        if samples is None:
+            samples = channels[channel] = []
+        samples.append((time_ns, value))
+
+    def _record_disabled(self, channel: str, time_ns: int,
+                         value: Any = 1) -> None:
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Read-back
+    # ------------------------------------------------------------------ #
 
     def channels(self) -> Iterable[str]:
         """Names of channels that received at least one sample."""
@@ -33,17 +77,50 @@ class TraceRecorder:
         """All samples of ``channel`` in record order (empty if none)."""
         return self._channels.get(channel, [])
 
+    def to_arrays(self, channel: str) -> Tuple[np.ndarray, np.ndarray]:
+        """``(times, values)`` of a channel as (int64, float) ndarrays.
+
+        Bulk accessor for the metrics layer: the conversion happens once
+        per channel and is memoized against the sample count, so repeated
+        reads (binning, percentiles, exports) are O(1).
+        """
+        samples = self._channels.get(channel)
+        if not samples:
+            return _EMPTY_TIMES, _EMPTY_VALUES
+        n = len(samples)
+        cached = self._arrays.get(channel)
+        if cached is not None and cached[0] == n:
+            return cached[1], cached[2]
+        times = np.fromiter((t for t, _ in samples), dtype=np.int64, count=n)
+        values = np.fromiter((v for _, v in samples), dtype=float, count=n)
+        self._arrays[channel] = (n, times, values)
+        return times, values
+
     def times(self, channel: str) -> np.ndarray:
         """Sample times of ``channel`` as an int64 array."""
-        return np.array([t for t, _ in self.samples(channel)], dtype=np.int64)
+        return self.to_arrays(channel)[0]
 
     def values(self, channel: str) -> np.ndarray:
         """Sample values of ``channel`` as a float array."""
-        return np.array([v for _, v in self.samples(channel)], dtype=float)
+        return self.to_arrays(channel)[1]
 
     def clear(self) -> None:
         """Drop all recorded samples."""
         self._channels.clear()
+        self._arrays.clear()
 
     def __contains__(self, channel: str) -> bool:
         return channel in self._channels
+
+    # ------------------------------------------------------------------ #
+    # Pickling (RunResults carry their recorder into the run cache)
+    # ------------------------------------------------------------------ #
+
+    def __getstate__(self) -> dict:
+        # The swapped bound method and the array memo are derived state.
+        return {"enabled": self._enabled, "channels": self._channels}
+
+    def __setstate__(self, state: dict) -> None:
+        self._channels = state["channels"]
+        self._arrays = {}
+        self.enabled = state["enabled"]

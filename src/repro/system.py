@@ -40,6 +40,8 @@ from repro.metrics.latency import LatencyStats
 from repro.metrics.slo import SloResult, check_slo
 from repro.nic.nic import MultiQueueNic
 from repro.netstack.stack import NetworkStack, StackConfig
+from repro.obs.registry import TelemetryRegistry
+from repro.obs.span import STAGES, SpanLog
 from repro.sim.perf import PerfSnapshot
 from repro.sim.rng import RandomStreams
 from repro.sim.simulator import Simulator
@@ -97,6 +99,11 @@ class ServerConfig:
     n_flows: Optional[int] = None
     seed: int = 0
     trace: bool = False
+    #: Fraction of requests carrying an end-to-end span TraceContext
+    #: (``repro.obs.span``). 0 disables span tracing entirely — the hot
+    #: path then pays nothing and results are bit-identical to untraced
+    #: runs. Sampling is deterministic in (rate, seed, request index).
+    trace_sample_rate: float = 0.0
     #: Batch per-packet event scheduling (client arrival doorbell, ACK
     #: trains). Arrival times are identical either way; False restores
     #: the exact legacy event ordering (one heap entry per packet).
@@ -127,6 +134,13 @@ class RunResult:
     #: Event-kernel counters of the run (events/sec, heap peak, cancel
     #: ratio); None for results deserialized from older caches.
     perf: Optional[PerfSnapshot] = None
+    #: Telemetry registry of the run: per-core/per-subsystem counters,
+    #: gauges, and histograms (``repro.obs.registry``); None only for
+    #: results deserialized from older caches.
+    telemetry: Optional[TelemetryRegistry] = None
+    #: Span log of the sampled requests (``repro.obs.span.SpanLog``);
+    #: None when ``config.trace_sample_rate`` is 0.
+    spans: Optional[SpanLog] = None
 
     def latency_stats(self) -> LatencyStats:
         """Percentile summary of completed-request latencies."""
@@ -153,6 +167,12 @@ class ServerSystem:
         self.sim = Simulator()
         self.rng = RandomStreams(config.seed)
         self.trace = TraceRecorder(enabled=config.trace)
+        if not 0.0 <= config.trace_sample_rate <= 1.0:
+            raise ValueError(f"trace_sample_rate must be in [0, 1], got "
+                             f"{config.trace_sample_rate}")
+        self.spans: Optional[SpanLog] = None
+        if config.trace_sample_rate > 0:
+            self.spans = SpanLog(config.trace_sample_rate, seed=config.seed)
 
         profile = PROCESSOR_PROFILES.get(config.processor)
         if profile is None:
@@ -203,7 +223,15 @@ class ServerSystem:
             request_factory=self.app.request_factory(),
             wire_latency_ns=config.wire_latency_ns,
             n_flows=config.n_flows,
-            batch_arrivals=config.batch_events)
+            batch_arrivals=config.batch_events,
+            span_log=self.spans)
+        if self.spans is not None:
+            # Arm the per-layer stamp guards only for traced runs, so
+            # untraced hot paths carry no per-packet checks.
+            self.nic.tracing = True
+            self.stack.tracing = True
+            for napi in self.stack.napis:
+                napi.tracing = True
         self.stack.response_sink = self.client.on_response
         if config.batch_events:
             # The open-loop client is a pure recorder: let the NIC notify
@@ -313,6 +341,129 @@ class ServerSystem:
                 lambda t, cid=cid: self.trace.record(
                     f"core{cid}.ksoftirqd_wake", self.sim.now, 1))
 
+    def _collect_telemetry(self, perf: PerfSnapshot,
+                           latencies_ns: np.ndarray) -> TelemetryRegistry:
+        """Merge every subsystem's counters into one typed registry.
+
+        Runs once, after the simulation: components keep their cheap
+        plain-int counters on the hot path, and this single pass exposes
+        them as labelled Counter/Gauge/Histogram instruments (the
+        Prometheus export and ``report --telemetry`` read from here).
+        """
+        reg = TelemetryRegistry()
+        perf.register_into(reg)
+
+        # Workload (client side).
+        client = self.client
+        reg.counter("requests_sent_total", "Requests generated",
+                    subsystem="workload").inc(client.sent)
+        reg.counter("requests_completed_total", "Responses recorded",
+                    subsystem="workload").inc(client.completed)
+        reg.counter("requests_dropped_total", "Requests tail-dropped",
+                    subsystem="workload").inc(client.dropped)
+        reg.histogram("request_latency_ns", "End-to-end request latency",
+                      subsystem="workload").observe_many(latencies_ns)
+
+        # NIC.
+        nic = self.nic
+        reg.counter("nic_rx_packets_total", "Packets received off the wire",
+                    subsystem="nic").inc(nic.rx_packets)
+        reg.counter("nic_rx_data_packets_total",
+                    "Rx packets carrying a request payload",
+                    subsystem="nic").inc(nic.rx_data_packets)
+        reg.counter("nic_tx_packets_total", "Packets transmitted",
+                    subsystem="nic").inc(nic.tx_packets)
+
+        # Per-core network stack: NAPI, ksoftirqd, sockets.
+        for cid, napi in enumerate(self.stack.napis):
+            core = str(cid)
+            reg.counter("napi_interrupts_total", "Hardware interrupts taken",
+                        subsystem="netstack", core=core).inc(napi.irq_count)
+            reg.counter("napi_sessions_total", "NAPI softirq sessions",
+                        subsystem="netstack", core=core).inc(napi.sessions)
+            reg.counter("napi_deferrals_total", "Deferrals to ksoftirqd",
+                        subsystem="netstack", core=core).inc(napi.deferrals)
+            reg.counter("napi_pkts_total", "Rx packets by processing mode",
+                        subsystem="netstack", core=core,
+                        mode="interrupt").inc(napi.pkts_interrupt_mode)
+            reg.counter("napi_pkts_total", subsystem="netstack", core=core,
+                        mode="polling").inc(napi.pkts_polling_mode)
+        for cid, ksoftirqd in enumerate(self.stack.ksoftirqds):
+            core = str(cid)
+            reg.counter("ksoftirqd_wakeups_total", "ksoftirqd thread wakes",
+                        subsystem="netstack", core=core).inc(
+                            ksoftirqd.wake_count)
+            reg.counter("ksoftirqd_batches_total", "Deferred poll batches run",
+                        subsystem="netstack", core=core).inc(
+                            ksoftirqd.batches_run)
+        for cid, socket in enumerate(self.stack.sockets):
+            core = str(cid)
+            reg.counter("socket_delivered_total", "Packets delivered upward",
+                        subsystem="netstack", core=core).inc(socket.delivered)
+            reg.counter("socket_dropped_total", "Socket-queue tail drops",
+                        subsystem="netstack", core=core).inc(socket.dropped)
+            reg.gauge("socket_max_depth", "Socket-queue high-water mark",
+                      subsystem="netstack", core=core).set(socket.max_depth)
+
+        # CPU: residency, P-state churn, work throughput.
+        for core_obj in self.processor.cores:
+            core = str(core_obj.core_id)
+            reg.gauge("core_busy_ns", "Busy residency", subsystem="cpu",
+                      core=core).set(core_obj.busy_ns)
+            reg.gauge("core_idle_ns", "Idle residency", subsystem="cpu",
+                      core=core).set(core_obj.idle_ns)
+            for state, ns in core_obj.cstate_residency_ns.items():
+                reg.gauge("cstate_residency_ns", "Residency per C-state",
+                          subsystem="cpu", core=core, state=state).set(ns)
+            reg.counter("pstate_changes_total", "Effective P-state changes",
+                        subsystem="cpu", core=core).inc(
+                            core_obj.pstate_changes)
+            reg.counter("works_completed_total", "Work items retired",
+                        subsystem="cpu", core=core).inc(
+                            core_obj.works_completed)
+
+        # Application workers.
+        for worker in self.workers:
+            core = str(worker.core_id)
+            reg.counter("app_requests_served_total", "Requests served",
+                        subsystem="app", core=core).inc(
+                            worker.requests_served)
+            reg.gauge("app_service_cycles_total", "Service cycles accepted",
+                      subsystem="app", core=core).set(
+                          worker.service_cycles_total)
+
+        # Governor decisions (NMAP-family engines expose mode entries).
+        for gov in self.freq_governors:
+            core = str(gov.core_id)
+            engine = getattr(gov, "engine", None)
+            if engine is not None and hasattr(engine, "ni_entries"):
+                reg.counter("nmap_mode_entries_total",
+                            "Decision-engine mode entries",
+                            subsystem="governor", core=core,
+                            mode="net-intensive").inc(engine.ni_entries)
+                reg.counter("nmap_mode_entries_total", subsystem="governor",
+                            core=core, mode="cpu-util").inc(engine.cu_entries)
+            samples = getattr(gov, "samples", None)
+            if samples is None:
+                samples = getattr(getattr(gov, "fallback", None),
+                                  "samples", None)
+            if samples is not None:
+                reg.counter("governor_samples_total",
+                            "Utilization samples taken",
+                            subsystem="governor", core=core).inc(samples)
+
+        # Span stages (sampled request tracing).
+        if self.spans is not None and len(self.spans):
+            matrix = self.spans.stage_matrix()
+            for stage in STAGES:
+                reg.histogram("request_stage_ns",
+                              "Per-stage latency of sampled requests",
+                              subsystem="tracing",
+                              stage=stage).observe_many(matrix[stage])
+            reg.counter("traced_requests_total", "Requests span-traced",
+                        subsystem="tracing").inc(len(self.spans))
+        return reg
+
     # ------------------------------------------------------------------ #
 
     def run(self, duration_ns: int, drain_ns: int = 100 * MS) -> RunResult:
@@ -345,6 +496,8 @@ class ServerSystem:
         self.client.finalize(duration_ns + drain_ns)
         perf = self.sim.perf_snapshot(
             wall_s=time.perf_counter() - wall_start)
+        latencies_ns = self.client.latencies_ns()
+        telemetry = self._collect_telemetry(perf, latencies_ns)
 
         return RunResult(
             config=self.config,
@@ -352,7 +505,7 @@ class ServerSystem:
             sent=self.client.sent,
             completed=self.client.completed,
             dropped=self.client.dropped,
-            latencies_ns=self.client.latencies_ns(),
+            latencies_ns=latencies_ns,
             completion_times_ns=self.client.completion_times_ns(),
             energy=EnergySummary(package_j=package_j, cores_j=cores_j,
                                  duration_s=duration_ns / S),
@@ -361,7 +514,9 @@ class ServerSystem:
             pkts_interrupt_mode=self.stack.total_pkts_interrupt_mode(),
             pkts_polling_mode=self.stack.total_pkts_polling_mode(),
             ksoftirqd_wakeups=self.stack.total_ksoftirqd_wakeups(),
-            perf=perf)
+            perf=perf,
+            telemetry=telemetry,
+            spans=self.spans)
 
 
 def run_server(config: ServerConfig, duration_ns: int) -> RunResult:

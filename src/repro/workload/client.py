@@ -12,6 +12,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro.nic.packet import Packet
+from repro.obs.span import SpanLog, TraceContext
 from repro.workload.request import Request
 from repro.workload.shapes import LoadShape, generate_arrivals
 
@@ -23,7 +24,8 @@ class OpenLoopClient:
                  request_factory: Optional[Callable[[int, int], Request]] = None,
                  wire_latency_ns: int = 5_000,
                  n_flows: Optional[int] = None,
-                 batch_arrivals: bool = True):
+                 batch_arrivals: bool = True,
+                 span_log: Optional[SpanLog] = None):
         if n_flows is not None and n_flows < 1:
             raise ValueError("need at least one flow")
         self.sim = sim
@@ -45,6 +47,10 @@ class OpenLoopClient:
         #: packet). False = legacy two-events-per-request scheduling,
         #: preserving exact legacy event ordering.
         self.batch_arrivals = batch_arrivals
+        #: End-to-end span tracing: when set, the client attaches a
+        #: TraceContext to each sampled request and folds it back into
+        #: the log on response. None = tracing off (no per-request cost).
+        self.span_log = span_log
 
         self._arrivals: Optional[np.ndarray] = None
         #: The same schedule as plain Python ints (per-element ndarray
@@ -103,6 +109,9 @@ class OpenLoopClient:
         flow_id = (self._flow_counter if self.n_flows is None
                    else self._flow_counter % self.n_flows)
         request = self.request_factory(flow_id, created_ns)
+        span_log = self.span_log
+        if span_log is not None and span_log.want(self._flow_counter):
+            request.trace = TraceContext()
         return Packet(flow_id=request.flow_id,
                       size_bytes=request.size_bytes,
                       created_ns=created_ns, request=request)
@@ -152,6 +161,8 @@ class OpenLoopClient:
         self.completed += 1
         self._latencies.append(deliver_ns - request.created_ns)
         self._completion_times.append(deliver_ns)
+        if self.span_log is not None and request.trace is not None:
+            self.span_log.complete(request, request.trace, deliver_ns)
 
     def finalize(self, t_end: int) -> None:
         """Drop records delivered after ``t_end`` (responses in flight at
@@ -166,6 +177,8 @@ class OpenLoopClient:
             del times[keep:]
             del self._latencies[keep:]
             self.completed = keep
+        if self.span_log is not None:
+            self.span_log.trim(t_end)
 
     def latencies_ns(self) -> np.ndarray:
         """End-to-end latencies (int64 ns) of completed requests."""

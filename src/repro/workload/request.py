@@ -18,7 +18,8 @@ class Request:
 
     __slots__ = ("request_id", "flow_id", "kind", "created_ns", "size_bytes",
                  "service_cycles", "response_bytes", "acked_response",
-                 "delivered_ns", "started_ns", "completed_ns", "core_id")
+                 "delivered_ns", "started_ns", "completed_ns", "core_id",
+                 "trace")
 
     def __init__(self, flow_id: int, created_ns: int, kind: str = "get",
                  size_bytes: int = 128, service_cycles: float = 0.0,
@@ -39,6 +40,9 @@ class Request:
         self.started_ns: Optional[int] = None     # app began service
         self.completed_ns: Optional[int] = None   # response at client
         self.core_id: Optional[int] = None
+        #: Span-tracing context (``repro.obs.span.TraceContext``) when the
+        #: request is sampled for end-to-end tracing; None otherwise.
+        self.trace = None
 
     @property
     def latency_ns(self) -> Optional[int]:

@@ -64,3 +64,14 @@ def test_fraction_over_matches_definition(latencies, threshold):
     lat = np.array(latencies)
     frac = fraction_over(lat, threshold)
     assert frac == pytest.approx(np.mean(lat > threshold))
+
+
+def test_fraction_over_rejects_nan():
+    """NaN compares False against any threshold, so it would silently
+    deflate the SLO-violation fraction — reject instead."""
+    with pytest.raises(ValueError, match="NaN"):
+        fraction_over(np.array([1.0, np.nan, 3.0]), 2.0)
+
+
+def test_fraction_over_accepts_lists():
+    assert fraction_over([1, 2, 3, 4], 2) == pytest.approx(0.5)

@@ -1,0 +1,152 @@
+"""Telemetry instruments: Counter/Gauge/Histogram and the registry."""
+
+import math
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.obs.registry import (Counter, Gauge, Histogram,
+                                TelemetryRegistry, _MAX_EXP)
+
+
+def test_counter_monotone():
+    c = Counter()
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    g = Gauge()
+    g.set(7.5)
+    g.inc(-2.5)
+    assert g.value == 5.0
+
+
+def test_histogram_bucket_boundaries():
+    # Bucket k (k >= 1) is (2**(k-1), 2**k]; bucket 0 is <= 1.
+    assert Histogram.bucket_index(0) == 0
+    assert Histogram.bucket_index(1) == 0
+    assert Histogram.bucket_index(2) == 1
+    assert Histogram.bucket_index(3) == 2
+    assert Histogram.bucket_index(4) == 2
+    assert Histogram.bucket_index(5) == 3
+    # Exact powers of two land in their own bucket, not the next.
+    for k in range(1, 40):
+        assert Histogram.bucket_index(2 ** k) == k
+        assert Histogram.bucket_index(2 ** k + 1) == k + 1
+    # Overflow past the largest finite bucket.
+    assert Histogram.bucket_index(2 ** (_MAX_EXP + 3)) == _MAX_EXP + 1
+
+
+def test_histogram_observe_and_stats():
+    h = Histogram()
+    for v in (1, 10, 100, 1000):
+        h.observe(v)
+    assert h.count == 4
+    assert h.sum == 1111
+    assert h.mean == pytest.approx(277.75)
+    with pytest.raises(ValueError):
+        h.observe(-1)
+
+
+def test_histogram_cumulative_ends_at_inf():
+    h = Histogram()
+    h.observe(3)
+    h.observe(300)
+    buckets = h.cumulative_buckets()
+    assert buckets[-1] == (math.inf, 2)
+    counts = [c for _, c in buckets]
+    assert counts == sorted(counts)  # cumulative
+
+
+def test_histogram_quantile_is_bucket_upper_bound():
+    h = Histogram()
+    for _ in range(99):
+        h.observe(100)       # bucket 7: (64, 128]
+    h.observe(10_000)        # bucket 14
+    assert h.quantile(0.5) == 128.0
+    assert h.quantile(1.0) == 16384.0
+    assert Histogram().quantile(0.5) == 0.0
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2 ** 44), min_size=1,
+                max_size=200))
+def test_observe_many_matches_scalar_path(values):
+    scalar, bulk = Histogram(), Histogram()
+    for v in values:
+        scalar.observe(v)
+    bulk.observe_many(np.array(values, dtype=np.int64))
+    assert bulk.buckets == scalar.buckets
+    assert bulk.count == scalar.count
+    assert bulk.sum == pytest.approx(scalar.sum)
+
+
+def test_observe_many_rejects_negative():
+    h = Histogram()
+    with pytest.raises(ValueError):
+        h.observe_many(np.array([1.0, -2.0]))
+    h.observe_many(np.empty(0))  # empty is a no-op
+    assert h.count == 0
+
+
+def test_registry_memoizes_per_name_and_labels():
+    reg = TelemetryRegistry()
+    a = reg.counter("reqs", "Requests", core="0")
+    b = reg.counter("reqs", core="0")
+    c = reg.counter("reqs", core="1")
+    assert a is b and a is not c
+    assert len(reg) == 2
+    assert reg.kind_of("reqs") == "counter"
+    assert reg.help_of("reqs") == "Requests"
+
+
+def test_registry_rejects_kind_conflicts():
+    reg = TelemetryRegistry()
+    reg.counter("x")
+    with pytest.raises(ValueError, match="already registered"):
+        reg.gauge("x")
+    with pytest.raises(ValueError):
+        reg.counter("")
+
+
+def test_registry_value_and_total():
+    reg = TelemetryRegistry()
+    reg.counter("pkts", core="0").inc(3)
+    reg.counter("pkts", core="1").inc(4)
+    reg.histogram("lat").observe(10)
+    assert reg.value("pkts", core="0") == 3
+    assert reg.total("pkts") == 7
+    assert reg.value("lat") == 1  # histograms report their count
+    with pytest.raises(KeyError):
+        reg.value("pkts", core="9")
+    with pytest.raises(KeyError):
+        reg.total("lat")  # no scalar instrument under that name
+
+
+def test_registry_as_dict_shape():
+    reg = TelemetryRegistry()
+    reg.gauge("g", core="0").set(2.5)
+    reg.histogram("h").observe(5)
+    d = reg.as_dict()
+    assert d["g"]["core=0"] == 2.5
+    assert d["h"][""]["count"] == 1
+
+
+def test_instruments_pickle_roundtrip():
+    reg = TelemetryRegistry()
+    reg.counter("c", "help", core="0").inc(2)
+    reg.gauge("g").set(1.5)
+    reg.histogram("h", core="1").observe(100)
+    clone = pickle.loads(pickle.dumps(reg))
+    assert clone.value("c", core="0") == 2
+    assert clone.value("g") == 1.5
+    assert clone.help_of("c") == "help"
+    h = dict((name, inst) for name, _l, _k, inst in clone.items())["h"]
+    assert h.buckets == {7: 1}

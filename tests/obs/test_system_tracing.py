@@ -1,0 +1,115 @@
+"""End-to-end tracing through ServerSystem: the acceptance invariants.
+
+* Span tiling: per-request span sums equal end-to-end latencies exactly.
+* Non-perturbation: tracing records timestamps but schedules nothing, so
+  traced and untraced runs produce bit-identical results.
+* Deterministic sampling: the traced subset is a pure function of
+  (rate, seed, request index) — identical across runs and across
+  serial/parallel execution.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.parallel import run_many
+from repro.obs import STAGES
+from repro.system import ServerConfig, ServerSystem
+from repro.units import MS
+
+DURATION = 20 * MS
+
+
+def _config(**overrides):
+    base = dict(app="memcached", load_level="high",
+                freq_governor="performance", n_cores=1, seed=3)
+    base.update(overrides)
+    return ServerConfig(**base)
+
+
+def _span_identity(record):
+    # request_id comes from a process-global counter, so run-local
+    # identity is (flow, core, boundary timestamps).
+    return (record.flow_id, record.core_id, record.bounds)
+
+
+def test_full_sampling_tiles_every_latency():
+    result = ServerSystem(_config(trace_sample_rate=1.0)).run(DURATION)
+    spans = result.spans
+    assert len(spans) == result.completed > 0
+    assert spans.max_tiling_error_ns() == 0
+    # The span totals are exactly the recorded latencies (as multisets).
+    assert np.array_equal(np.sort(spans.totals_ns()),
+                          np.sort(result.latencies_ns))
+    matrix = spans.stage_matrix()
+    stage_sum = np.stack([matrix[s] for s in STAGES]).sum(axis=0)
+    assert np.array_equal(stage_sum, spans.totals_ns())
+
+
+def test_tracing_does_not_perturb_the_simulation():
+    off = ServerSystem(_config(trace_sample_rate=0.0)).run(DURATION)
+    on = ServerSystem(_config(trace_sample_rate=1.0)).run(DURATION)
+    assert off.spans is None and on.spans is not None
+    assert off.completed == on.completed
+    assert np.array_equal(off.latencies_ns, on.latencies_ns)
+    assert np.array_equal(off.completion_times_ns, on.completion_times_ns)
+    assert off.energy.package_j == on.energy.package_j
+    assert off.pkts_interrupt_mode == on.pkts_interrupt_mode
+
+
+def test_partial_sampling_is_deterministic_and_proportional():
+    rate = 0.2
+    a = ServerSystem(_config(trace_sample_rate=rate)).run(DURATION)
+    b = ServerSystem(_config(trace_sample_rate=rate)).run(DURATION)
+    ids_a = [_span_identity(r) for r in a.spans.records]
+    ids_b = [_span_identity(r) for r in b.spans.records]
+    assert ids_a == ids_b and ids_a
+    assert len(ids_a) / a.completed == pytest.approx(rate, abs=0.05)
+    # Sampled spans still tile exactly.
+    assert a.spans.max_tiling_error_ns() == 0
+    # Sampled totals are a subset of the latency multiset.
+    lat = sorted(a.latencies_ns.tolist())
+    for total in a.spans.totals_ns():
+        assert total in lat
+
+
+def test_sampling_invalid_rate_rejected():
+    with pytest.raises(ValueError):
+        ServerSystem(_config(trace_sample_rate=1.5))
+    with pytest.raises(ValueError):
+        ServerSystem(_config(trace_sample_rate=-0.1))
+
+
+def test_traced_grid_serial_equals_parallel(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    jobs = [( _config(seed=seed, trace_sample_rate=0.5), 15 * MS)
+            for seed in (41, 42)]
+    runner.clear_cache()
+    serial = run_many(jobs, workers=1)
+    runner.clear_cache()  # parallel pass starts cold
+    parallel = run_many(jobs, workers=2)
+    for a, b in zip(serial, parallel):
+        assert np.array_equal(a.latencies_ns, b.latencies_ns)
+        ids_a = [_span_identity(r) for r in a.spans.records]
+        ids_b = [_span_identity(r) for r in b.spans.records]
+        assert ids_a == ids_b and ids_a
+    runner.clear_cache()
+
+
+def test_telemetry_registry_present_and_consistent():
+    result = ServerSystem(_config(trace_sample_rate=1.0)).run(DURATION)
+    reg = result.telemetry
+    assert reg is not None
+    assert reg.value("requests_completed_total",
+                     subsystem="workload") == result.completed
+    assert reg.total("napi_pkts_total") == \
+        result.pkts_interrupt_mode + result.pkts_polling_mode
+    assert reg.value("traced_requests_total",
+                     subsystem="tracing") == len(result.spans)
+    # Stage histograms cover every traced request.
+    for stage in STAGES:
+        assert reg.value("request_stage_ns", subsystem="tracing",
+                         stage=stage) == len(result.spans)
+    # Event-kernel gauges mirror the PerfSnapshot.
+    assert reg.value("sim_events_fired", subsystem="sim") == \
+        result.perf.events_fired

@@ -38,3 +38,52 @@ def test_default_value_is_one():
     tr = TraceRecorder()
     tr.record("wake", 5)
     assert tr.values("wake").tolist() == [1.0]
+
+
+def test_disabled_swaps_record_method():
+    """The off switch is a bound-method swap, not a per-call branch."""
+    tr = TraceRecorder(enabled=False)
+    assert tr.record.__func__ is TraceRecorder._record_disabled
+    tr.enabled = True
+    assert "record" not in tr.__dict__  # class method shines through
+    tr.record("x", 1)
+    assert tr.samples("x") == [(1, 1)]
+    tr.enabled = False
+    tr.record("x", 2)
+    assert tr.samples("x") == [(1, 1)]
+
+
+def test_to_arrays_returns_typed_pair():
+    tr = TraceRecorder()
+    tr.record("c", 10, 2)
+    tr.record("c", 20, 5)
+    times, values = tr.to_arrays("c")
+    assert times.dtype == np.int64 and values.dtype == float
+    assert times.tolist() == [10, 20]
+    assert values.tolist() == [2.0, 5.0]
+
+
+def test_to_arrays_memoizes_and_invalidates_on_append():
+    tr = TraceRecorder()
+    tr.record("c", 1, 1)
+    first = tr.to_arrays("c")
+    assert tr.to_arrays("c")[0] is first[0]  # cached
+    tr.record("c", 2, 1)
+    times, _ = tr.to_arrays("c")
+    assert times.tolist() == [1, 2]  # cache refreshed by length change
+
+
+def test_recorder_pickles_without_derived_state():
+    import pickle
+    tr = TraceRecorder(enabled=False)
+    tr.enabled = True
+    tr.record("c", 7, 3)
+    tr.to_arrays("c")  # populate the memo
+    clone = pickle.loads(pickle.dumps(tr))
+    assert clone.enabled is True
+    assert clone.samples("c") == [(7, 3)]
+    assert clone.to_arrays("c")[0].tolist() == [7]
+    off = pickle.loads(pickle.dumps(TraceRecorder(enabled=False)))
+    assert off.enabled is False
+    off.record("x", 1)
+    assert off.samples("x") == []

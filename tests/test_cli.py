@@ -47,3 +47,35 @@ def test_experiments_cli_runs_one_artifact(capsys, tmp_path):
     assert "tab2" in out
     assert report.exists()
     assert "tab2" in report.read_text()
+
+
+def test_trace_subcommand_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        experiments_main(["trace", "fig99"])
+
+
+def test_trace_subcommand_writes_perfetto_json(capsys, tmp_path,
+                                               monkeypatch):
+    import json
+    monkeypatch.chdir(tmp_path)
+    out = tmp_path / "t.json"
+    code = experiments_main(["trace", "tab2", "--governor", "performance",
+                             "--load", "low", "--out", str(out),
+                             "--sample-rate", "0.5"])
+    printed = capsys.readouterr().out
+    assert code == 0
+    assert "max span-tiling error 0 ns" in printed
+    doc = json.loads(out.read_text())
+    assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+    assert doc["otherData"]["freq_governor"] == "performance"
+
+
+def test_report_subcommand_telemetry_and_prometheus(capsys, tmp_path):
+    prom = tmp_path / "metrics.txt"
+    code = experiments_main(["report", "tab2", "--governor", "performance",
+                             "--load", "low", "--telemetry",
+                             "--prometheus", str(prom)])
+    printed = capsys.readouterr().out
+    assert code == 0
+    assert "requests_completed_total" in printed
+    assert "# TYPE requests_completed_total counter" in prom.read_text()
