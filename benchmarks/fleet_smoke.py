@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Fleet co-simulation smoke benchmark: throughput + lockstep overhead.
+
+Runs one small fleet (`repro.cluster`) and the same nodes standalone,
+and records into ``BENCH_fleet.json``:
+
+* fleet simulated-events/sec and nodes/s (how many node-runs of this
+  size the lockstep driver completes per wall-clock second);
+* **lockstep overhead**: fleet wall time over the summed standalone
+  wall time for identical node configurations. The windowed
+  ``run_until`` loop re-enters each node's event kernel once per
+  LB-wire window, so some overhead is structural — the acceptance
+  budget is < 2x (``--assert-overhead 2.0`` gates it in CI).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/fleet_smoke.py [--out PATH]
+        [--nodes N] [--duration-ms MS] [--assert-overhead RATIO]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cluster import FleetConfig, FleetSystem  # noqa: E402
+from repro.system import ServerConfig, ServerSystem  # noqa: E402
+from repro.units import MS  # noqa: E402
+
+
+def _fleet_config(n_nodes: int) -> FleetConfig:
+    node = ServerConfig(app="memcached", load_level="medium",
+                        freq_governor="nmap", n_cores=2)
+    return FleetConfig(node=node, n_nodes=n_nodes, policy="round-robin",
+                       n_sessions=24, session_skew=1.1, seed=2)
+
+
+def _time_fleet(config: FleetConfig, duration_ns: int):
+    t0 = time.perf_counter()
+    result = FleetSystem(config).run(duration_ns)
+    wall_s = time.perf_counter() - t0
+    events = sum(r.perf.events_fired for r in result.node_results
+                 if r.perf is not None)
+    return wall_s, events, result
+
+
+def _time_standalone(config: FleetConfig, duration_ns: int) -> float:
+    """Summed wall time of each fleet node run standalone.
+
+    Every node gets the exact config the fleet would build for it (same
+    seeds); only the arrival schedule differs — standalone nodes draw
+    their own full-rate schedule, so per-node work is comparable while
+    the lockstep driver and the balancer are out of the picture.
+    """
+    total = 0.0
+    for i in range(config.n_nodes):
+        system = ServerSystem(config.node_config(i))
+        t0 = time.perf_counter()
+        system.run(duration_ns)
+        total += time.perf_counter() - t0
+    return total
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=3)
+    parser.add_argument("--duration-ms", type=int, default=100)
+    parser.add_argument("--passes", type=int, default=2,
+                        help="measured passes; the best is recorded")
+    parser.add_argument("--assert-overhead", type=float, default=None,
+                        metavar="RATIO",
+                        help="fail if fleet wall time exceeds RATIO x "
+                             "the summed standalone wall time")
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_fleet.json")
+    args = parser.parse_args(argv)
+
+    config = _fleet_config(args.nodes)
+    duration_ns = args.duration_ms * MS
+
+    fleet_passes = [_time_fleet(config, duration_ns)
+                    for _ in range(args.passes)]
+    fleet_wall, fleet_events, result = min(fleet_passes,
+                                           key=lambda p: p[0])
+    standalone_wall = min(_time_standalone(config, duration_ns)
+                          for _ in range(args.passes))
+    overhead = (fleet_wall / standalone_wall
+                if standalone_wall > 0 else float("inf"))
+
+    record = {
+        "benchmark": "fleet lockstep co-simulation smoke",
+        "python": sys.version.split()[0],
+        "n_nodes": args.nodes,
+        "duration_ms": args.duration_ms,
+        "policy": config.policy,
+        "fleet_wall_s": round(fleet_wall, 4),
+        "fleet_events_fired": fleet_events,
+        "fleet_events_per_sec": round(fleet_events / fleet_wall)
+        if fleet_wall > 0 else None,
+        "nodes_per_sec": round(args.nodes / fleet_wall, 3)
+        if fleet_wall > 0 else None,
+        "lockstep_windows": result.lockstep_windows,
+        "standalone_wall_s_summed": round(standalone_wall, 4),
+        "lockstep_overhead_ratio": round(overhead, 3),
+        "fleet_completed_requests": result.completed,
+    }
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"fleet: {args.nodes} nodes x {args.duration_ms} ms in "
+          f"{fleet_wall:.2f}s ({record['fleet_events_per_sec']:,} "
+          f"events/s); standalone sum {standalone_wall:.2f}s; "
+          f"lockstep overhead {overhead:.2f}x -> {args.out}")
+
+    if args.assert_overhead is not None and overhead > args.assert_overhead:
+        print(f"FAIL: lockstep overhead {overhead:.2f}x exceeds the "
+              f"{args.assert_overhead:.2f}x budget", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,71 @@
+"""Fleet configuration: node template, dispatch policy, session model,
+power budget, and the lockstep lookahead."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.sim.rng import derive_stream
+from repro.system import ServerConfig
+from repro.units import MS
+
+
+@dataclass
+class FleetConfig:
+    """Everything needed to build one fleet experiment.
+
+    Per-node randomness derives from ``seed`` via
+    :func:`repro.sim.rng.derive_stream`, so the ``node`` template's own
+    ``seed``/``arrival_seed`` fields are ignored — every node gets an
+    independent stream family, and the fleet-level streams (arrival
+    schedule, session draws, LB tie-breaking) are independent of all of
+    them.
+    """
+
+    #: Template applied to every node (seed fields are overridden).
+    node: ServerConfig = field(default_factory=ServerConfig)
+    n_nodes: int = 2
+    #: Dispatch policy name (``repro.cluster.lb.POLICIES``).
+    policy: str = "round-robin"
+    policy_params: dict = field(default_factory=dict)
+    #: LB -> node wire latency. Doubles as the conservative-lockstep
+    #: lookahead: a dispatch decided at a window's start cannot reach a
+    #: node before the window ends, so per-window dispatch with
+    #: start-of-window node state is exact, not an approximation. Must
+    #: not exceed the node's client wire latency.
+    lb_wire_latency_ns: int = 5_000
+    #: Fixed pool of client sessions. The L4 balancer is
+    #: connection-affine: a session sticks to its node, so a smaller
+    #: pool (or more nodes) leaves fewer sessions per node and the
+    #: law of small numbers skews per-node load.
+    n_sessions: int = 64
+    #: Zipf exponent of the per-session weight distribution; 0 = uniform.
+    session_skew: float = 0.0
+    #: Fleet-wide power budget (watts) enforced by the
+    #: :class:`~repro.cluster.power.PowerBudgetCoordinator` as per-node
+    #: P-state caps; None disables budgeting.
+    fleet_budget_w: Optional[float] = None
+    #: Budget redistribution cadence (rounded up to lockstep windows).
+    budget_period_ns: int = 10 * MS
+    seed: int = 0
+
+    def with_overrides(self, **kwargs) -> "FleetConfig":
+        """A copy with fields replaced (convenience for sweeps)."""
+        return replace(self, **kwargs)
+
+    def node_seed(self, node_id: int) -> int:
+        """The independent master seed of node ``node_id``."""
+        return derive_stream(self.seed, "node", node_id)
+
+    def node_config(self, node_id: int) -> ServerConfig:
+        """The concrete :class:`ServerConfig` of node ``node_id``."""
+        if not 0 <= node_id < self.n_nodes:
+            raise ValueError(f"node_id {node_id} out of range "
+                             f"[0, {self.n_nodes})")
+        return self.node.with_overrides(seed=self.node_seed(node_id),
+                                        arrival_seed=None)
+
+    def arrival_seed(self) -> int:
+        """Seed of the fleet-wide arrival schedule generator."""
+        return derive_stream(self.seed, "fleet", "client")

@@ -1,0 +1,279 @@
+"""Fleet co-simulation: N server nodes in conservative lockstep.
+
+Each node is a complete :class:`~repro.system.ServerSystem` with its own
+event kernel; the fleet advances all of them window by window, where the
+window length (lookahead) is the LB->node wire latency. A dispatch
+decided at a window's start physically cannot reach a node before the
+window ends, so dispatching a whole window at once from start-of-window
+node state is *exact* under the model, not an approximation — and the
+whole co-simulation stays deterministic and bit-reproducible.
+
+Two dispatch paths:
+
+* **Feedback-free policies** (round-robin): the entire dispatch is a
+  pure function of the arrival schedule, so it is precomputed and fed to
+  every node before power management starts — replicating the exact
+  standalone event ordering. A 1-node fleet is bit-identical to the
+  equivalent standalone run (enforced by test).
+* **Feedback policies** (least-outstanding, p2c, power-aware): each
+  window's arrivals are dispatched with the node states observed at the
+  window start (stale by at most one wire latency, as for a real
+  balancer), then fed before the window runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cluster.config import FleetConfig
+from repro.cluster.lb import NodeView, make_policy
+from repro.cluster.power import PowerBudgetCoordinator
+from repro.metrics.energy import EnergySummary
+from repro.metrics.fleet import imbalance_ratio, node_p99s_ns
+from repro.metrics.latency import LatencyStats
+from repro.metrics.slo import SloResult, check_slo
+from repro.obs.registry import TelemetryRegistry
+from repro.sim.rng import derive_stream
+from repro.system import RunResult, ServerSystem
+from repro.units import MS, S
+from repro.workload.profiles import levels_for
+from repro.workload.shapes import ScaledLoad, generate_arrivals
+
+import random
+
+
+@dataclass
+class FleetResult:
+    """Outcome of one :meth:`FleetSystem.run`."""
+
+    config: FleetConfig
+    duration_ns: int
+    #: Full per-node results (each exactly a standalone-run result).
+    node_results: List[RunResult]
+    #: Requests the balancer sent to each node.
+    dispatched: List[int]
+    sent: int
+    completed: int
+    dropped: int
+    #: All nodes' completed-request latencies, concatenated node-major.
+    latencies_ns: np.ndarray
+    energy: EnergySummary
+    slo_ns: int
+    #: Per-node registries merged under a ``node`` label, plus
+    #: fleet-subsystem instruments (dispatch counts, rebalances).
+    telemetry: Optional[TelemetryRegistry]
+    lockstep_windows: int
+    rebalances: int
+
+    def latency_stats(self) -> LatencyStats:
+        """Percentile summary over the whole fleet's requests."""
+        return LatencyStats.from_sample(self.latencies_ns)
+
+    def slo_result(self) -> SloResult:
+        """Fleet-level p99-vs-SLO verdict."""
+        return check_slo(self.latencies_ns, self.slo_ns)
+
+    @property
+    def p99_ns(self) -> float:
+        return self.slo_result().p99_ns
+
+    @property
+    def energy_j(self) -> float:
+        return self.energy.package_j
+
+    def node_p99s_ns(self) -> List[float]:
+        """Per-node p99 latencies, in node order."""
+        return node_p99s_ns(self.node_results)
+
+    def imbalance(self) -> float:
+        """Worst-node p99 over fleet p99 (1.0 = perfectly balanced)."""
+        return imbalance_ratio(self.node_p99s_ns(), self.p99_ns)
+
+
+class FleetSystem:
+    """N wired server nodes behind a load balancer, ready to run."""
+
+    def __init__(self, config: FleetConfig):
+        if config.n_nodes < 1:
+            raise ValueError("need at least one node")
+        if config.n_sessions < 1:
+            raise ValueError("need at least one session")
+        if config.session_skew < 0:
+            raise ValueError("session_skew must be >= 0")
+        if not 0 < config.lb_wire_latency_ns <= config.node.wire_latency_ns:
+            raise ValueError(
+                f"lb_wire_latency_ns must be in (0, node wire latency "
+                f"{config.node.wire_latency_ns}], got "
+                f"{config.lb_wire_latency_ns}: the lookahead guarantee "
+                f"needs dispatches to arrive no earlier than one window")
+        self.config = config
+        self.nodes: List[ServerSystem] = [
+            ServerSystem(config.node_config(i))
+            for i in range(config.n_nodes)]
+        self.views = [NodeView(i, node)
+                      for i, node in enumerate(self.nodes)]
+        self.policy = make_policy(config.policy, **config.policy_params)
+        self.policy.bind(self.views,
+                         random.Random(derive_stream(config.seed,
+                                                     "fleet", "lb")))
+        self.budget: Optional[PowerBudgetCoordinator] = None
+        if config.fleet_budget_w is not None:
+            self.budget = PowerBudgetCoordinator(
+                self.nodes, config.fleet_budget_w,
+                period_ns=config.budget_period_ns)
+
+        # The fleet-wide offered load: the node template's per-core shape
+        # scaled by the fleet's total core count (mirrors ServerSystem's
+        # per-core -> per-node scaling).
+        node_cfg = config.node
+        shape = node_cfg.load_shape
+        if shape is None:
+            shape = levels_for(node_cfg.app).level(
+                node_cfg.load_level).shape()
+        total_cores = node_cfg.n_cores * config.n_nodes
+        if total_cores != 1:
+            shape = ScaledLoad(shape, total_cores)
+        self.load_shape = shape
+
+    # ----------------------------------------------------------------- #
+
+    def _session_ids(self, n_arrivals: int) -> np.ndarray:
+        """The session each arrival belongs to (zipf-weighted draw)."""
+        cfg = self.config
+        if cfg.n_sessions == 1 or n_arrivals == 0:
+            return np.zeros(n_arrivals, dtype=np.int64)
+        weights = np.arange(1, cfg.n_sessions + 1,
+                            dtype=np.float64) ** -cfg.session_skew
+        rng = np.random.default_rng(
+            derive_stream(cfg.seed, "fleet", "sessions"))
+        return rng.choice(cfg.n_sessions, size=n_arrivals,
+                          p=weights / weights.sum())
+
+    def run(self, duration_ns: int, drain_ns: int = 100 * MS) -> FleetResult:
+        """Run the fleet for ``duration_ns``, then drain in-flight work."""
+        if duration_ns <= 0:
+            raise ValueError("duration must be positive")
+        config = self.config
+        wall_start = time.perf_counter()
+        arrival_rng = np.random.default_rng(config.arrival_seed())
+        times = [int(t) for t in generate_arrivals(
+            self.load_shape, duration_ns, arrival_rng)]
+        sessions = self._session_ids(len(times))
+        window_ns = config.lb_wire_latency_ns
+        n_windows = 0
+
+        if self.policy.feedback_free:
+            # Precompute the full dispatch and feed it before anything
+            # runs: each node sees exactly the event sequence a
+            # standalone client.start() would have produced.
+            batches: List[List[int]] = [[] for _ in self.nodes]
+            for t, session in zip(times, sessions):
+                nid = self.policy.choose(t, int(session))
+                self.views[nid].dispatched += 1
+                batches[nid].append(t)
+            for node, batch in zip(self.nodes, batches):
+                node.client.feed_arrivals(batch)
+            for node in self.nodes:
+                node._start_power()
+            t = 0
+            while t < duration_ns:
+                t_next = min(t + window_ns, duration_ns)
+                if self.budget is not None:
+                    self.budget.maybe_rebalance(t)
+                for node in self.nodes:
+                    node.sim.run_until(t_next)
+                t = t_next
+                n_windows += 1
+        else:
+            for node in self.nodes:
+                node._start_power()
+            idx = 0
+            t = 0
+            while t < duration_ns:
+                t_next = min(t + window_ns, duration_ns)
+                batches = [[] for _ in self.nodes]
+                while idx < len(times) and times[idx] < t_next:
+                    nid = self.policy.choose(times[idx],
+                                             int(sessions[idx]))
+                    self.views[nid].dispatched += 1
+                    batches[nid].append(times[idx])
+                    idx += 1
+                for node, batch in zip(self.nodes, batches):
+                    if batch:
+                        node.client.feed_arrivals(batch)
+                if self.budget is not None:
+                    self.budget.maybe_rebalance(t)
+                for node in self.nodes:
+                    node.sim.run_until(t_next)
+                t = t_next
+                n_windows += 1
+
+        # Measurement boundary: energy over exactly [0, duration], then
+        # stop power management (and lift budget caps) and drain.
+        energies = [node._measure_energy(duration_ns)
+                    for node in self.nodes]
+        for node in self.nodes:
+            node._stop_power()
+        if self.budget is not None:
+            self.budget.release()
+        for node in self.nodes:
+            node.sim.run_until(duration_ns + drain_ns)
+        node_results = [
+            node._finalize_result(duration_ns, drain_ns, energy,
+                                  wall_start)
+            for node, energy in zip(self.nodes, energies)]
+        return self._build_result(duration_ns, node_results, n_windows)
+
+    # ----------------------------------------------------------------- #
+
+    def _build_result(self, duration_ns: int,
+                      node_results: List[RunResult],
+                      n_windows: int) -> FleetResult:
+        dispatched = [view.dispatched for view in self.views]
+        rebalances = self.budget.rebalances if self.budget else 0
+        latencies = (np.concatenate([r.latencies_ns for r in node_results])
+                     if node_results else np.empty(0, dtype=np.int64))
+        energy = EnergySummary(
+            package_j=sum(r.energy.package_j for r in node_results),
+            cores_j=sum(r.energy.cores_j for r in node_results),
+            duration_s=duration_ns / S)
+
+        telemetry = TelemetryRegistry()
+        for i, result in enumerate(node_results):
+            if result.telemetry is not None:
+                telemetry.merge_from(result.telemetry, node=i)
+        for i, count in enumerate(dispatched):
+            telemetry.counter("lb_dispatched_total",
+                              "Requests dispatched per node",
+                              subsystem="fleet", node=str(i)).inc(count)
+        telemetry.counter("lockstep_windows_total",
+                          "Conservative lockstep windows advanced",
+                          subsystem="fleet").inc(n_windows)
+        telemetry.counter("budget_rebalances_total",
+                          "Power-budget redistributions",
+                          subsystem="fleet").inc(rebalances)
+
+        return FleetResult(
+            config=self.config,
+            duration_ns=duration_ns,
+            node_results=node_results,
+            dispatched=dispatched,
+            sent=sum(r.sent for r in node_results),
+            completed=sum(r.completed for r in node_results),
+            dropped=sum(r.dropped for r in node_results),
+            latencies_ns=latencies,
+            energy=energy,
+            slo_ns=node_results[0].slo_ns,
+            telemetry=telemetry,
+            lockstep_windows=n_windows,
+            rebalances=rebalances)
+
+
+def run_fleet(config: FleetConfig, duration_ns: int,
+              drain_ns: int = 100 * MS) -> FleetResult:
+    """Build a :class:`FleetSystem` from ``config`` and run it."""
+    return FleetSystem(config).run(duration_ns, drain_ns=drain_ns)

@@ -1,0 +1,169 @@
+"""Load-balancer dispatch policies.
+
+The balancer sees each node through a :class:`NodeView`: its own
+dispatch count minus the node's completion count (the node-reported
+side is read at lockstep-window granularity, so it is stale by at most
+one LB wire latency — exactly what a real L4/L7 balancer observes), and
+the node's current DVFS operating point for the power-aware policy.
+
+Policies are deterministic: any randomness (power-of-two-choices
+candidate sampling) draws from a dedicated stream derived from the
+fleet seed, so reruns and worker processes dispatch identically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Type
+
+
+class NodeView:
+    """What the load balancer knows about one node."""
+
+    def __init__(self, node_id: int, system):
+        self.node_id = node_id
+        self.system = system
+        #: Requests this balancer has sent to the node so far.
+        self.dispatched = 0
+
+    @property
+    def n_cores(self) -> int:
+        return self.system.processor.n_cores
+
+    def outstanding(self) -> int:
+        """Dispatched requests not yet answered (as the LB observes it)."""
+        return self.dispatched - self.system.client.completed
+
+    def relative_speed(self) -> float:
+        """Mean core frequency as a fraction of the maximum (P0) clock.
+
+        The "telemetry" a power-aware balancer reads: a node already
+        running fast serves immediately, while a slow node must ramp
+        through DVFS transitions first.
+        """
+        processor = self.system.processor
+        pstates = processor.pstates
+        f0 = pstates.p0.freq_hz
+        total = sum(pstates.freq_of(core.pstate_index)
+                    for core in processor.cores)
+        return total / (len(processor.cores) * f0)
+
+
+class DispatchPolicy:
+    """Chooses the serving node for each request."""
+
+    name = "base"
+    #: True when decisions never depend on node feedback (outstanding
+    #: counts, speeds). Feedback-free dispatch can be precomputed and
+    #: fed to the nodes up front, which is what makes a 1-node fleet
+    #: bit-identical to a standalone run.
+    feedback_free = False
+
+    def bind(self, views: List[NodeView], rng: random.Random) -> None:
+        self.views = views
+        self.rng = rng
+
+    def choose(self, created_ns: int, session_id: int) -> int:
+        raise NotImplementedError
+
+
+class RoundRobinPolicy(DispatchPolicy):
+    """Connection-affine round-robin (an L4 balancer).
+
+    Each *new* session is pinned to the next node in rotation; all of a
+    session's requests follow it. With per-request-fresh sessions this
+    degenerates to classic per-request round-robin.
+    """
+
+    name = "round-robin"
+    feedback_free = True
+
+    def bind(self, views, rng) -> None:
+        super().bind(views, rng)
+        self._session_node: Dict[int, int] = {}
+        self._next = 0
+
+    def choose(self, created_ns: int, session_id: int) -> int:
+        node = self._session_node.get(session_id)
+        if node is None:
+            node = self._next
+            self._session_node[session_id] = node
+            self._next = (self._next + 1) % len(self.views)
+        return node
+
+
+class LeastOutstandingPolicy(DispatchPolicy):
+    """Per-request, full-scan least-outstanding (an L7 balancer)."""
+
+    name = "least-outstanding"
+
+    def choose(self, created_ns: int, session_id: int) -> int:
+        return min(self.views,
+                   key=lambda v: (v.outstanding(), v.node_id)).node_id
+
+
+class PowerOfTwoPolicy(DispatchPolicy):
+    """Power-of-two-choices: sample two nodes, pick the less loaded.
+
+    O(1) per request with most of full-scan's balancing power — the
+    classic result. Ties keep the first sample.
+    """
+
+    name = "p2c"
+
+    def choose(self, created_ns: int, session_id: int) -> int:
+        n = len(self.views)
+        if n == 1:
+            return 0
+        a = self.rng.randrange(n)
+        b = self.rng.randrange(n - 1)
+        if b >= a:
+            b += 1
+        if self.views[b].outstanding() < self.views[a].outstanding():
+            return b
+        return a
+
+
+class PowerAwarePolicy(DispatchPolicy):
+    """Least-outstanding with a DVFS-telemetry tie-break.
+
+    Among the least-loaded nodes, prefer the one whose cores already run
+    fastest: it serves without waiting out DVFS ramp-up, and the slow
+    nodes stay slow (low uncore power) instead of everyone oscillating.
+    ``speed_bands`` quantizes the speed signal so the tie-break is
+    robust to tiny frequency jitter.
+    """
+
+    name = "power-aware"
+
+    def __init__(self, speed_bands: int = 8):
+        if speed_bands < 1:
+            raise ValueError("speed_bands must be >= 1")
+        self.speed_bands = speed_bands
+
+    def choose(self, created_ns: int, session_id: int) -> int:
+        bands = self.speed_bands
+
+        def score(view: NodeView):
+            band = int(view.relative_speed() * bands)
+            return (view.outstanding(), -band, view.node_id)
+
+        return min(self.views, key=score).node_id
+
+
+POLICIES: Dict[str, Type[DispatchPolicy]] = {
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    LeastOutstandingPolicy.name: LeastOutstandingPolicy,
+    PowerOfTwoPolicy.name: PowerOfTwoPolicy,
+    PowerAwarePolicy.name: PowerAwarePolicy,
+}
+
+
+def make_policy(name: str, **params) -> DispatchPolicy:
+    """Instantiate a dispatch policy by registry name."""
+    try:
+        cls = POLICIES[name]
+    except KeyError:
+        raise ValueError(f"unknown dispatch policy {name!r}; "
+                         f"known: {sorted(POLICIES)}") from None
+    return cls(**params)

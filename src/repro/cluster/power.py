@@ -1,0 +1,110 @@
+"""Fleet-level power budgeting: one watt budget, N nodes.
+
+A RAPL-style coordinator periodically redistributes a global budget
+across the fleet in proportion to each node's recent busy time (with a
+guaranteed floor so an idle node can always ramp back up), then enforces
+each share as a per-node P-state cap via
+:meth:`repro.cpu.topology.Processor.set_pstate_cap`.
+
+The coordinator is deliberately *observation-only* on the measurement
+path: it reads each core's lazily-flushed ``busy_ns`` counter raw, never
+forcing an accounting flush, so enabling the budget does not perturb a
+node's energy-meter accrual points (float accumulation order is part of
+the determinism contract).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.units import MS
+
+
+class PowerBudgetCoordinator:
+    """Redistributes ``budget_w`` across nodes as P-state caps."""
+
+    def __init__(self, systems: Sequence, budget_w: float,
+                 period_ns: int = 10 * MS, floor_frac: float = 0.5):
+        if budget_w <= 0:
+            raise ValueError("budget must be positive")
+        if period_ns <= 0:
+            raise ValueError("period must be positive")
+        if not 0.0 <= floor_frac <= 1.0:
+            raise ValueError("floor_frac must be in [0, 1]")
+        self.systems = list(systems)
+        self.budget_w = float(budget_w)
+        self.period_ns = int(period_ns)
+        #: Fraction of the budget split evenly regardless of load; the
+        #: rest follows demand. A non-zero floor keeps a freshly loaded
+        #: node from being starved at the cap until the next period.
+        self.floor_frac = float(floor_frac)
+        self.rebalances = 0
+        self._last_check_ns = 0
+        self._last_busy = [self._busy_ns(s) for s in self.systems]
+        self._ladders = [self._power_ladder(s.processor)
+                         for s in self.systems]
+
+    # ----------------------------------------------------------------- #
+
+    @staticmethod
+    def _busy_ns(system) -> int:
+        """Sum of per-core busy residency, read without flushing."""
+        return sum(core.busy_ns for core in system.processor.cores)
+
+    @staticmethod
+    def _power_ladder(processor) -> List[float]:
+        """Worst-case node watts at each P-state index (all cores busy).
+
+        Index 0 (fastest) draws the most; the ladder is what maps a watt
+        share to the fastest affordable cap.
+        """
+        model = processor.power_model
+        cc0 = processor.cstates.cc0
+        ladder = []
+        for i in range(len(processor.pstates)):
+            pstate = processor.pstates[i]
+            ladder.append(processor.n_cores
+                          * model.core_power(True, pstate, cc0)
+                          + model.uncore_power(pstate))
+        return ladder
+
+    def cap_for_share(self, node_index: int, share_w: float) -> int:
+        """Fastest P-state index whose worst-case draw fits ``share_w``."""
+        ladder = self._ladders[node_index]
+        for i, watts in enumerate(ladder):
+            if watts <= share_w:
+                return i
+        return len(ladder) - 1
+
+    def shares(self, loads: Sequence[int]) -> List[float]:
+        """Per-node watt shares for the given busy-time deltas."""
+        n = len(self.systems)
+        floor = self.budget_w * self.floor_frac / n
+        spare = self.budget_w * (1.0 - self.floor_frac)
+        total = sum(loads)
+        if total <= 0:
+            return [floor + spare / n] * n
+        return [floor + spare * load / total for load in loads]
+
+    def maybe_rebalance(self, now_ns: int) -> bool:
+        """Redistribute if a period has elapsed; returns True if it did.
+
+        Called at lockstep-window boundaries, so the effective period is
+        ``period_ns`` rounded up to a whole number of windows.
+        """
+        if now_ns - self._last_check_ns < self.period_ns:
+            return False
+        self._last_check_ns = now_ns
+        busy = [self._busy_ns(s) for s in self.systems]
+        loads = [b - prev for b, prev in zip(busy, self._last_busy)]
+        self._last_busy = busy
+        for i, (system, share) in enumerate(zip(self.systems,
+                                                self.shares(loads))):
+            system.processor.set_pstate_cap(self.cap_for_share(i, share))
+        self.rebalances += 1
+        return True
+
+    def release(self) -> None:
+        """Lift every cap (end of the budgeted measurement window)."""
+        for system in self.systems:
+            system.processor.set_pstate_cap(0)

@@ -24,6 +24,16 @@ def _us(mean: float, std: float) -> Tuple[float, float]:
     return mean * US, std * US
 
 
+#: Uncore power scaling, watts per simulated core. The uncore (LLC, mesh,
+#: memory controller) is modelled proportional to the simulated core count
+#: so quick few-core runs report the same normalized energy ratios as full
+#: 8-core runs; ~22 W max / ~2.8 W min for the 8-core Gold 6134 package.
+#: One documented place so heterogeneous fleet nodes (different
+#: ``n_cores``) all derive their uncore envelope consistently.
+UNCORE_MAX_W_PER_CORE = 2.75
+UNCORE_MIN_W_PER_CORE = 0.35
+
+
 @dataclass(frozen=True)
 class ProcessorProfile:
     """Static description of one processor model."""
@@ -40,6 +50,16 @@ class ProcessorProfile:
     cc6_wake_ns: Tuple[float, float]
     cache_refill_penalty_ns: int
     per_core_dvfs: bool = True
+    #: Uncore power envelope per simulated core (see module constants).
+    uncore_max_w_per_core: float = UNCORE_MAX_W_PER_CORE
+    uncore_min_w_per_core: float = UNCORE_MIN_W_PER_CORE
+
+    def uncore_power_params(self, n_cores: int) -> Dict[str, float]:
+        """The ``PowerModel`` uncore kwargs for an ``n_cores`` system."""
+        if n_cores < 1:
+            raise ValueError("need at least one core")
+        return {"uncore_max_power_w": self.uncore_max_w_per_core * n_cores,
+                "uncore_min_power_w": self.uncore_min_w_per_core * n_cores}
 
     def pstate_table(self) -> PStateTable:
         """Build this processor's P-state table."""

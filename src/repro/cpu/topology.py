@@ -58,6 +58,10 @@ class Processor:
             self.dvfs.append(DvfsController(sim, core, latency_model, rng=rng))
         # Per-core requests, used to resolve the chip-wide target.
         self._requested = [c.pstate_index for c in self.cores]
+        # RAPL-style frequency cap: governors may not settle faster than
+        # this index (0 = uncapped). Set by a fleet power-budget
+        # coordinator; requests below the cap resolve to the cap.
+        self._pstate_cap_index = 0
         # Uncore frequency scaling: track the fastest core.
         for core in self.cores:
             core.pstate_listeners.append(self._on_core_pstate_change)
@@ -75,16 +79,45 @@ class Processor:
 
         Per-core: the request applies to that core only. Chip-wide: the
         effective target is the fastest (lowest index) of all per-core
-        requests and is applied to every core.
+        requests and is applied to every core. Either way the effective
+        target never goes below the power-budget cap
+        (:meth:`set_pstate_cap`); the governor's intent is remembered so
+        a relaxed cap restores it.
         """
         index = self.pstates.clamp(index)
         self._requested[core_id] = index
         if self.dvfs_domain == PER_CORE:
-            self.dvfs[core_id].request(index)
+            self.dvfs[core_id].request(max(index, self._pstate_cap_index))
             return
-        target = min(self._requested)
+        target = max(min(self._requested), self._pstate_cap_index)
         for ctrl in self.dvfs:
             ctrl.request(target)
+
+    @property
+    def pstate_cap_index(self) -> int:
+        """The current power-budget frequency cap (0 = uncapped)."""
+        return self._pstate_cap_index
+
+    def set_pstate_cap(self, index: int) -> None:
+        """Cap every core's effective P-state at ``index`` or slower.
+
+        The fleet power-budget coordinator's enforcement hook: a node
+        whose budget share shrinks gets a higher (slower) cap. Changing
+        the cap re-resolves every core's last requested target, so
+        tightening throttles immediately and relaxing restores each
+        governor's intent without waiting for its next sample.
+        """
+        index = self.pstates.clamp(index)
+        if index == self._pstate_cap_index:
+            return
+        self._pstate_cap_index = index
+        if self.dvfs_domain == PER_CORE:
+            for cid, ctrl in enumerate(self.dvfs):
+                ctrl.request(max(self._requested[cid], index))
+        else:
+            target = max(min(self._requested), index)
+            for ctrl in self.dvfs:
+                ctrl.request(target)
 
     def set_all_pstates_now(self, index: int) -> None:
         """Force every core to ``index`` immediately (test/bootstrap aid)."""

@@ -9,6 +9,7 @@ Usage::
     python -m repro.experiments --markdown out.md
     python -m repro.experiments trace fig9      # Perfetto span trace
     python -m repro.experiments report fig9 --telemetry
+    python -m repro.experiments list            # ids + one-line summaries
 
 Independent simulation runs fan out over ``--workers`` processes (or
 ``REPRO_WORKERS``); results are bit-identical to serial runs. Finished
@@ -37,6 +38,11 @@ def main(argv=None) -> int:
         handler = tracecli.cmd_trace if argv[0] == "trace" \
             else tracecli.cmd_report
         return handler(argv[1:])
+    if argv and argv[0] == "list":
+        from repro.experiments.registry import describe_experiments
+        for experiment_id, description in describe_experiments().items():
+            print(f"{experiment_id:14s} {description}")
+        return 0
     parser = argparse.ArgumentParser(
         prog="repro.experiments",
         description="Reproduce the NMAP paper's tables and figures.")

@@ -11,6 +11,7 @@ from repro.experiments import (fig02_mode_transitions, fig03_response_latency,
                                fig10_nmap_latency, fig11_nmap_cdf,
                                fig12_p99, fig13_energy, fig14_sota_p99,
                                fig15_sota_energy, fig16_changing_load,
+                               fleet_energy, fleet_tail,
                                imbalance, robustness,
                                slo_calibration, tab01_retransition,
                                tab02_wakeup)
@@ -39,7 +40,20 @@ EXPERIMENTS: Dict[str, Callable] = {
     "robustness": robustness.run,
     # Per-core vs chip-wide advantage under skewed RSS (Sec. 6.3 claim).
     "imbalance": imbalance.run,
+    # Fleet extensions (repro.cluster): multi-node co-simulation.
+    "fleet_tail": fleet_tail.run,
+    "fleet_energy": fleet_energy.run,
 }
+
+
+def describe_experiments() -> Dict[str, str]:
+    """id -> one-line description (each harness module's first doc line)."""
+    import sys
+    out = {}
+    for experiment_id, harness in EXPERIMENTS.items():
+        doc = sys.modules[harness.__module__].__doc__ or ""
+        out[experiment_id] = doc.strip().splitlines()[0] if doc else ""
+    return out
 
 
 def run_experiment(experiment_id: str,

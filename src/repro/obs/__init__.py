@@ -14,11 +14,13 @@ Three pillars (see docs/OBSERVABILITY.md):
 
 from repro.obs.registry import Counter, Gauge, Histogram, TelemetryRegistry
 from repro.obs.span import (STAGES, RequestTrace, SpanLog, TraceContext)
-from repro.obs.perfetto import perfetto_trace, write_perfetto
+from repro.obs.perfetto import (fleet_perfetto_trace, perfetto_trace,
+                                write_perfetto)
 from repro.obs.prometheus import prometheus_text
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "TelemetryRegistry",
     "STAGES", "RequestTrace", "SpanLog", "TraceContext",
-    "perfetto_trace", "write_perfetto", "prometheus_text",
+    "perfetto_trace", "fleet_perfetto_trace", "write_perfetto",
+    "prometheus_text",
 ]

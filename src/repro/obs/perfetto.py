@@ -32,10 +32,11 @@ def _us(time_ns: int) -> float:
     return time_ns / 1000.0
 
 
-def _span_events(span_log) -> List[dict]:
+def _span_events(span_log, pid: int = _PID_SPANS,
+                 process_name: str = "requests (sampled spans)") -> List[dict]:
     events: List[dict] = [{
-        "name": "process_name", "ph": "M", "pid": _PID_SPANS, "tid": 0,
-        "args": {"name": "requests (sampled spans)"},
+        "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+        "args": {"name": process_name},
     }]
     cores = set()
     for record in span_log.records:
@@ -48,7 +49,7 @@ def _span_events(span_log) -> List[dict]:
                 "ph": "X",
                 "ts": _us(start_ns),
                 "dur": _us(dur_ns),
-                "pid": _PID_SPANS,
+                "pid": pid,
                 "tid": tid,
                 "args": {
                     "request_id": record.request_id,
@@ -60,20 +61,21 @@ def _span_events(span_log) -> List[dict]:
             })
     for tid in sorted(cores):
         events.append({
-            "name": "thread_name", "ph": "M", "pid": _PID_SPANS, "tid": tid,
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
             "args": {"name": f"core{tid}"},
         })
     return events
 
 
-def _channel_events(trace) -> List[dict]:
+def _channel_events(trace, pid: int = _PID_CHANNELS,
+                    process_name: str = "telemetry channels") -> List[dict]:
     events: List[dict] = [{
-        "name": "process_name", "ph": "M", "pid": _PID_CHANNELS, "tid": 0,
-        "args": {"name": "telemetry channels"},
+        "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+        "args": {"name": process_name},
     }]
     for tid, channel in enumerate(sorted(trace.channels())):
         events.append({
-            "name": "thread_name", "ph": "M", "pid": _PID_CHANNELS,
+            "name": "thread_name", "ph": "M", "pid": pid,
             "tid": tid,
             "args": {"name": channel},
         })
@@ -82,13 +84,13 @@ def _channel_events(trace) -> List[dict]:
             if instant:
                 events.append({
                     "name": channel, "cat": "telemetry", "ph": "i",
-                    "ts": _us(time_ns), "pid": _PID_CHANNELS, "tid": tid,
+                    "ts": _us(time_ns), "pid": pid, "tid": tid,
                     "s": "t",
                 })
             else:
                 events.append({
                     "name": channel, "cat": "telemetry", "ph": "C",
-                    "ts": _us(time_ns), "pid": _PID_CHANNELS, "tid": tid,
+                    "ts": _us(time_ns), "pid": pid, "tid": tid,
                     "args": {"value": float(value)},
                 })
     return events
@@ -121,10 +123,57 @@ def perfetto_trace(result, include_channels: bool = True) -> dict:
     }
 
 
+def fleet_perfetto_trace(fleet_result,
+                         include_channels: bool = True) -> dict:
+    """The Trace Event Format document for a fleet run.
+
+    Each node becomes its own pair of synthetic processes (track groups
+    in the Perfetto UI): ``node<i> requests`` holds the node's sampled
+    spans with one thread per core, ``node<i> telemetry`` its timeline
+    channels — so all nodes' timelines line up on one shared clock.
+    """
+    events: List[dict] = []
+    for i, result in enumerate(fleet_result.node_results):
+        pid_spans, pid_channels = 2 * i + 1, 2 * i + 2
+        span_log = getattr(result, "spans", None)
+        if span_log is not None and len(span_log):
+            events.extend(_span_events(span_log, pid=pid_spans,
+                                       process_name=f"node{i} requests"))
+        trace = getattr(result, "trace", None)
+        if include_channels and trace is not None and trace.channels():
+            events.extend(_channel_events(
+                trace, pid=pid_channels,
+                process_name=f"node{i} telemetry"))
+    config = fleet_result.config
+    meta: Dict[str, object] = {
+        "model": "repro-nmap",
+        "duration_ns": fleet_result.duration_ns,
+        "n_nodes": config.n_nodes,
+        "policy": config.policy,
+        "app": config.node.app,
+        "freq_governor": config.node.freq_governor,
+        "seed": config.seed,
+    }
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": meta,
+    }
+
+
 def write_perfetto(result, path: str,
                    include_channels: bool = True) -> int:
-    """Write the Perfetto JSON for ``result``; returns the event count."""
-    doc = perfetto_trace(result, include_channels=include_channels)
+    """Write the Perfetto JSON for ``result``; returns the event count.
+
+    ``result`` may be a standalone :class:`~repro.system.RunResult` or a
+    :class:`~repro.cluster.fleet.FleetResult` (detected by its
+    ``node_results`` attribute, which gets per-node track groups).
+    """
+    if hasattr(result, "node_results"):
+        doc = fleet_perfetto_trace(result,
+                                   include_channels=include_channels)
+    else:
+        doc = perfetto_trace(result, include_channels=include_channels)
     with open(path, "w") as fh:
         json.dump(doc, fh, separators=(",", ":"))
         fh.write("\n")

@@ -202,6 +202,32 @@ class TelemetryRegistry:
     def histogram(self, name: str, help: str = "", **labels) -> Histogram:
         return self._get("histogram", name, help, labels)  # type: ignore
 
+    def merge_from(self, other: "TelemetryRegistry", **extra_labels) -> None:
+        """Fold another registry's instruments into this one.
+
+        Every instrument of ``other`` is re-registered here under its
+        labels plus ``extra_labels`` (e.g. ``node="3"``) — how a fleet
+        run merges its per-node registries into one fleet-wide registry
+        without renaming any instrument. Counters add, gauges take the
+        source value, histograms merge buckets/count/sum. Colliding
+        label sets (possible only if ``extra_labels`` is not
+        distinguishing) accumulate rather than error.
+        """
+        for name, labels, kind, instrument in other.items():
+            merged_labels = dict(labels)
+            for key, value in extra_labels.items():
+                merged_labels[key] = str(value)
+            target = self._get(kind, name, other.help_of(name), merged_labels)
+            if isinstance(instrument, Histogram):
+                for exp, n in instrument.buckets.items():
+                    target.buckets[exp] = target.buckets.get(exp, 0) + n
+                target.count += instrument.count
+                target.sum += instrument.sum
+            elif isinstance(instrument, Counter):
+                target.inc(instrument.value)
+            else:
+                target.set(instrument.value)
+
     # ----------------------------------------------------------------- #
     # Introspection
     # ----------------------------------------------------------------- #

@@ -32,20 +32,11 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.sim.rng import derive_stream
+
 #: Stage names, in path order. Stage k spans ``bounds[k] .. bounds[k+1]``.
 STAGES: Tuple[str, ...] = ("wire-rx", "rx-queue", "softirq", "socket",
                            "app-service", "tx-wire")
-
-_MASK64 = (1 << 64) - 1
-_GOLDEN = 0x9E3779B97F4A7C15
-
-
-def _mix64(x: int) -> int:
-    """SplitMix64 finalizer: avalanche an index into 64 random-ish bits."""
-    x &= _MASK64
-    x = ((x ^ (x >> 33)) * 0xFF51AFD7ED558CCD) & _MASK64
-    x = ((x ^ (x >> 33)) * 0xC4CEB9FE1A85EC53) & _MASK64
-    return x ^ (x >> 33)
 
 
 class TraceContext:
@@ -150,11 +141,16 @@ class SpanLog:
         return len(self.records)
 
     def want(self, index: int) -> bool:
-        """Deterministic sampling verdict for the run's ``index``-th request."""
+        """Deterministic sampling verdict for the run's ``index``-th request.
+
+        The hash is the shared SplitMix64 stream derivation
+        (:func:`repro.sim.rng.derive_stream`); single-integer-key
+        derivation is bit-identical to the ad-hoc mix this module used
+        before the helper existed, so sampled sets never moved.
+        """
         if self._threshold >= (1 << 32):
             return True
-        h = _mix64(index * _GOLDEN + self.seed)
-        return (h >> 32) < self._threshold
+        return (derive_stream(self.seed, index) >> 32) < self._threshold
 
     def complete(self, request, ctx: TraceContext,
                  completed_ns: int) -> None:

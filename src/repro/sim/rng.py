@@ -1,17 +1,65 @@
-"""Seeded, named random-number streams.
+"""Seeded, named random-number streams and stream-seed derivation.
 
 Every stochastic component draws from its own named stream derived from a
 single experiment seed, so adding randomness to one component never perturbs
 another (a standard reproducibility idiom in simulators).
+
+Two derivation schemes coexist:
+
+* :class:`RandomStreams` hashes ``(seed, name)`` with SHA-256 — the
+  historical scheme for a system's internal component streams. It is
+  kept bit-stable so existing results and golden files never move.
+* :func:`derive_stream` mixes ``(seed, *keys)`` through SplitMix64 — the
+  shared, cheap derivation used wherever a *family* of related seeds is
+  needed: per-request trace-sampling verdicts (``repro.obs.span``) and
+  per-node seeds of a fleet (``repro.cluster``). Single-integer-key
+  derivation is bit-compatible with the sampling hash span tracing has
+  always used.
 """
 
 from __future__ import annotations
 
 import hashlib
 import random
-from typing import Dict
+from typing import Dict, Union
 
 import numpy as np
+
+_MASK64 = (1 << 64) - 1
+#: The SplitMix64 increment (golden-ratio constant).
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def splitmix64(x: int) -> int:
+    """SplitMix64 finalizer: avalanche ``x`` into 64 random-ish bits."""
+    x &= _MASK64
+    x = ((x ^ (x >> 33)) * 0xFF51AFD7ED558CCD) & _MASK64
+    x = ((x ^ (x >> 33)) * 0xC4CEB9FE1A85EC53) & _MASK64
+    return x ^ (x >> 33)
+
+
+def derive_stream(seed: int, *keys: Union[int, str]) -> int:
+    """A 64-bit stream seed derived from ``seed`` and a key path.
+
+    Integer keys fold as ``mix(state + key * GOLDEN)`` — for a single
+    integer key this is exactly the per-request sampling hash span
+    tracing uses, so refactoring onto this helper moved no bits. String
+    keys fold their UTF-8 bytes (length first, then 8-byte chunks), so
+    ``derive_stream(s, "node", 3)`` and ``derive_stream(s, "node3")``
+    differ. Uncorrelated for distinct key paths; cheap enough for the
+    per-request hot path.
+    """
+    x = int(seed) & _MASK64
+    for key in keys:
+        if isinstance(key, str):
+            data = key.encode("utf-8")
+            x = splitmix64((x + (len(data) | 1) * _GOLDEN) & _MASK64)
+            for i in range(0, len(data), 8):
+                chunk = int.from_bytes(data[i:i + 8], "little")
+                x = splitmix64((x + chunk * _GOLDEN) & _MASK64)
+        else:
+            x = splitmix64((x + (int(key) & _MASK64) * _GOLDEN) & _MASK64)
+    return x
 
 
 def _derive_seed(master_seed: int, name: str) -> int:

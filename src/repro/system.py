@@ -98,6 +98,11 @@ class ServerConfig:
     #: concentrates flows onto few queues (per-core load imbalance).
     n_flows: Optional[int] = None
     seed: int = 0
+    #: Explicit seed for the client's arrival stream; None derives it
+    #: from ``seed`` as always. Set by the fleet parity harness so a
+    #: standalone run draws the exact arrival schedule a fleet's load
+    #: balancer would have dispatched to this node.
+    arrival_seed: Optional[int] = None
     trace: bool = False
     #: Fraction of requests carrying an end-to-end span TraceContext
     #: (``repro.obs.span``). 0 disables span tracing entirely — the hot
@@ -178,12 +183,12 @@ class ServerSystem:
         if profile is None:
             raise ValueError(f"unknown processor {config.processor!r}; "
                              f"known: {sorted(PROCESSOR_PROFILES)}")
-        # Uncore power is modelled proportional to the simulated core count
-        # so that quick (few-core) runs report the same normalized energy
-        # ratios as full 8-core runs.
+        # Uncore power scales with the simulated core count; the per-core
+        # envelope lives with the processor profiles so every system —
+        # including heterogeneous fleet nodes — derives it from one place.
         power_params = dict(config.power_model_params)
-        power_params.setdefault("uncore_max_power_w", 2.75 * config.n_cores)
-        power_params.setdefault("uncore_min_power_w", 0.35 * config.n_cores)
+        for key, value in profile.uncore_power_params(config.n_cores).items():
+            power_params.setdefault(key, value)
         power_model = PowerModel(profile.pstate_table(), **power_params)
         self.processor = Processor(
             self.sim, profile=profile, n_cores=config.n_cores,
@@ -218,8 +223,11 @@ class ServerSystem:
         if config.n_cores != 1:
             shape = ScaledLoad(shape, config.n_cores)
         self.load_shape = shape
+        client_rng = (np.random.default_rng(config.arrival_seed)
+                      if config.arrival_seed is not None
+                      else self.rng.numpy_stream("client"))
         self.client = OpenLoopClient(
-            self.sim, self.nic, shape, self.rng.numpy_stream("client"),
+            self.sim, self.nic, shape, client_rng,
             request_factory=self.app.request_factory(),
             wire_latency_ns=config.wire_latency_ns,
             n_flows=config.n_flows,
@@ -466,32 +474,37 @@ class ServerSystem:
 
     # ------------------------------------------------------------------ #
 
-    def run(self, duration_ns: int, drain_ns: int = 100 * MS) -> RunResult:
-        """Run the workload for ``duration_ns``, then drain in-flight work.
+    # The run sequence is split into phases so an embedding co-simulator
+    # (``repro.cluster.FleetSystem``) can interleave its own lockstep
+    # windows between workload start and finalization while keeping the
+    # standalone event ordering — and hence results — bit-identical.
 
-        Energy is measured over exactly [0, duration]; latencies include
-        requests that complete during the drain window.
-        """
-        if duration_ns <= 0:
-            raise ValueError("duration must be positive")
-        wall_start = time.perf_counter()
-        self.client.start(duration_ns)
+    def _start_power(self) -> None:
+        """Start the periodic power-management machinery."""
         for gov in self.freq_governors:
             gov.start()
         if self.manager is not None:
             self.manager.start()
 
-        self.sim.run_until(duration_ns)
+    def _measure_energy(self, duration_ns: int) -> EnergySummary:
+        """Flush accounting and read energy over exactly [0, duration]."""
         self.processor.finalize()
-        package_j = self.processor.energy.total_energy_j(duration_ns)
-        cores_j = self.processor.energy.cores_energy_j(duration_ns)
+        return EnergySummary(
+            package_j=self.processor.energy.total_energy_j(duration_ns),
+            cores_j=self.processor.energy.cores_energy_j(duration_ns),
+            duration_s=duration_ns / S)
 
-        # Stop periodic machinery, then let in-flight requests finish.
+    def _stop_power(self) -> None:
+        """Stop periodic machinery (before the drain window)."""
         for gov in self.freq_governors:
             gov.stop()
         if self.manager is not None:
             self.manager.stop()
-        self.sim.run_until(duration_ns + drain_ns)
+
+    def _finalize_result(self, duration_ns: int, drain_ns: int,
+                         energy: EnergySummary,
+                         wall_start: float) -> RunResult:
+        """Trim the drain window, snapshot counters, build the result."""
         self.processor.finalize()
         self.client.finalize(duration_ns + drain_ns)
         perf = self.sim.perf_snapshot(
@@ -507,8 +520,7 @@ class ServerSystem:
             dropped=self.client.dropped,
             latencies_ns=latencies_ns,
             completion_times_ns=self.client.completion_times_ns(),
-            energy=EnergySummary(package_j=package_j, cores_j=cores_j,
-                                 duration_s=duration_ns / S),
+            energy=energy,
             slo_ns=self.app.slo_ns,
             trace=self.trace,
             pkts_interrupt_mode=self.stack.total_pkts_interrupt_mode(),
@@ -517,6 +529,27 @@ class ServerSystem:
             perf=perf,
             telemetry=telemetry,
             spans=self.spans)
+
+    def run(self, duration_ns: int, drain_ns: int = 100 * MS) -> RunResult:
+        """Run the workload for ``duration_ns``, then drain in-flight work.
+
+        Energy is measured over exactly [0, duration]; latencies include
+        requests that complete during the drain window.
+        """
+        if duration_ns <= 0:
+            raise ValueError("duration must be positive")
+        wall_start = time.perf_counter()
+        self.client.start(duration_ns)
+        self._start_power()
+
+        self.sim.run_until(duration_ns)
+        energy = self._measure_energy(duration_ns)
+
+        # Stop periodic machinery, then let in-flight requests finish.
+        self._stop_power()
+        self.sim.run_until(duration_ns + drain_ns)
+        return self._finalize_result(duration_ns, drain_ns, energy,
+                                     wall_start)
 
 
 def run_server(config: ServerConfig, duration_ns: int) -> RunResult:

@@ -58,6 +58,10 @@ class OpenLoopClient:
         #: doorbell touches every element once).
         self._arrival_list: list = []
         self._next_idx = 0
+        #: True while a doorbell/send event sits in the heap — lets an
+        #: external feeder (:meth:`feed_arrivals`) know whether it must
+        #: re-arm after appending to an exhausted schedule.
+        self._armed = False
         self._flow_counter = 0
         self.sent = 0
         self.dropped = 0
@@ -78,13 +82,40 @@ class OpenLoopClient:
             self._schedule_next()
         return int(self._arrivals.size)
 
+    def feed_arrivals(self, times_ns) -> None:
+        """Append externally dispatched creation times to the schedule.
+
+        The embedding mode: a fleet load balancer (``repro.cluster``)
+        decides which node serves each request and feeds the chosen
+        node's client its arrival instants — this client then builds the
+        request and delivers it one wire latency later exactly as it does
+        for its own schedule. Times must be non-decreasing and no earlier
+        than already-fed times; the doorbell is re-armed only when the
+        previous schedule had drained, so a pre-fed schedule behaves
+        bit-identically to :meth:`start`'s.
+        """
+        arrivals = self._arrival_list
+        if times_ns:
+            if arrivals and times_ns[0] < arrivals[-1]:
+                raise ValueError(
+                    f"arrivals must be fed in time order "
+                    f"({times_ns[0]} < {arrivals[-1]})")
+            arrivals.extend(times_ns)
+        if not self._armed and self._next_idx < len(arrivals):
+            if self.batch_arrivals:
+                self._ring_next()
+            else:
+                self._schedule_next()
+
     # -- batched path: one doorbell event per burst of due arrivals ----- #
 
     def _ring_next(self) -> None:
         if self._next_idx >= len(self._arrival_list):
+            self._armed = False
             return
         t_arrive = self._arrival_list[self._next_idx] + self.wire_latency_ns
         self.sim.schedule_at(max(t_arrive, self.sim.now), self._ring_doorbell)
+        self._armed = True
 
     def _ring_doorbell(self) -> None:
         """Deliver every arrival due at (or before) now, then re-arm."""
@@ -120,9 +151,11 @@ class OpenLoopClient:
 
     def _schedule_next(self) -> None:
         if self._next_idx >= len(self._arrival_list):
+            self._armed = False
             return
         t = self._arrival_list[self._next_idx]
         self.sim.schedule_at(max(t, self.sim.now), self._send_one)
+        self._armed = True
 
     def _send_one(self) -> None:
         t = self._arrival_list[self._next_idx]

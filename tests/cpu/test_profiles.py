@@ -58,3 +58,21 @@ def test_full_up_slowest_on_desktops():
     for name in ("i7-6700", "i7-7700"):
         table = PROCESSOR_PROFILES[name].retransition_ns
         assert table[FULL_UP][0] == max(mean for mean, _ in table.values())
+
+
+def test_uncore_power_params_scale_with_core_count():
+    from repro.cpu.profiles import (UNCORE_MAX_W_PER_CORE,
+                                    UNCORE_MIN_W_PER_CORE)
+    profile = PROCESSOR_PROFILES["Gold-6134"]
+    params = profile.uncore_power_params(8)
+    assert params["uncore_max_power_w"] == pytest.approx(
+        8 * UNCORE_MAX_W_PER_CORE)
+    assert params["uncore_min_power_w"] == pytest.approx(
+        8 * UNCORE_MIN_W_PER_CORE)
+    # Per-core proportionality: quick 2-core runs keep the same
+    # normalized envelope as the full package.
+    half = profile.uncore_power_params(2)
+    assert half["uncore_max_power_w"] == pytest.approx(
+        params["uncore_max_power_w"] / 4)
+    with pytest.raises(ValueError):
+        profile.uncore_power_params(0)

@@ -138,3 +138,31 @@ if __name__ == "__main__":
     (_HERE / "golden_perfetto.json").write_text(
         json.dumps(doc, indent=1, sort_keys=True) + "\n")
     print("golden files regenerated")
+
+
+def test_fleet_perfetto_groups_tracks_per_node(tmp_path):
+    from repro.cluster import FleetConfig, run_fleet
+    from repro.obs.perfetto import fleet_perfetto_trace
+    from repro.system import ServerConfig
+    from repro.units import MS
+
+    node = ServerConfig(app="memcached", load_level="low",
+                        freq_governor="performance", n_cores=1,
+                        trace_sample_rate=1.0)
+    result = run_fleet(FleetConfig(node=node, n_nodes=2, seed=4), 10 * MS)
+    doc = fleet_perfetto_trace(result)
+    assert doc["otherData"]["n_nodes"] == 2
+    assert doc["otherData"]["policy"] == "round-robin"
+    names = {e["args"]["name"] for e in doc["traceEvents"]
+             if e.get("name") == "process_name"}
+    assert {"node0 requests", "node1 requests"} <= names
+    # Span events live in each node's own pid group (2i+1).
+    span_pids = {e["pid"] for e in doc["traceEvents"]
+                 if e.get("ph") == "X"}
+    assert span_pids == {1, 3}
+
+    # write_perfetto dispatches on the result type.
+    path = tmp_path / "fleet.json"
+    count = write_perfetto(result, str(path))
+    assert count == len(doc["traceEvents"]) > 0
+    assert json.loads(path.read_text())["otherData"]["n_nodes"] == 2

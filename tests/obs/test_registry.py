@@ -150,3 +150,57 @@ def test_instruments_pickle_roundtrip():
     assert clone.help_of("c") == "help"
     h = dict((name, inst) for name, _l, _k, inst in clone.items())["h"]
     assert h.buckets == {7: 1}
+
+
+# -- merge_from: folding per-node registries into a fleet registry --------- #
+
+def test_merge_from_applies_extra_labels():
+    node = TelemetryRegistry()
+    node.counter("reqs_total", "Requests", core=0).inc(7)
+    node.gauge("depth", "Queue depth").set(3)
+    fleet = TelemetryRegistry()
+    fleet.merge_from(node, node=2)
+    assert fleet.value("reqs_total", core="0", node="2") == 7
+    assert fleet.value("depth", node="2") == 3
+    # The source labels survive; only the extra label was added.
+    with pytest.raises(KeyError):
+        fleet.value("reqs_total", node="2")
+
+
+def test_merge_from_counters_add_and_gauges_overwrite():
+    a = TelemetryRegistry()
+    a.counter("hits", "").inc(2)
+    a.gauge("level", "").set(10)
+    b = TelemetryRegistry()
+    b.counter("hits", "").inc(5)
+    b.gauge("level", "").set(4)
+    merged = TelemetryRegistry()
+    merged.merge_from(a)  # no distinguishing label: accumulate
+    merged.merge_from(b)
+    assert merged.value("hits") == 7
+    assert merged.value("level") == 4  # gauge takes the latest source
+
+
+def test_merge_from_histograms_merge_buckets():
+    a = TelemetryRegistry()
+    a.histogram("lat", "").observe_many(np.array([1, 2, 4, 8]))
+    b = TelemetryRegistry()
+    b.histogram("lat", "").observe_many(np.array([4, 1000]))
+    merged = TelemetryRegistry()
+    merged.merge_from(a)
+    merged.merge_from(b)
+    h = merged.histogram("lat", "")
+    assert h.count == 6
+    assert h.sum == 1 + 2 + 4 + 8 + 4 + 1000
+    combined = Histogram()
+    combined.observe_many(np.array([1, 2, 4, 8, 4, 1000]))
+    assert h.buckets == combined.buckets
+
+
+def test_merge_from_preserves_kind_and_help():
+    node = TelemetryRegistry()
+    node.counter("pkts_total", "Packets seen").inc(1)
+    fleet = TelemetryRegistry()
+    fleet.merge_from(node, node=0)
+    assert fleet.kind_of("pkts_total") == "counter"
+    assert fleet.help_of("pkts_total") == "Packets seen"

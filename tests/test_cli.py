@@ -79,3 +79,13 @@ def test_report_subcommand_telemetry_and_prometheus(capsys, tmp_path):
     assert code == 0
     assert "requests_completed_total" in printed
     assert "# TYPE requests_completed_total counter" in prom.read_text()
+
+
+def test_list_subcommand_names_every_experiment(capsys):
+    from repro.experiments.registry import EXPERIMENTS
+    assert experiments_main(["list"]) == 0
+    out = capsys.readouterr().out
+    for experiment_id in EXPERIMENTS:
+        assert experiment_id in out
+    assert "fleet_tail" in out
+    assert "fleet_energy" in out

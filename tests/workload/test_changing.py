@@ -46,3 +46,44 @@ def test_validation():
         make_changing_load(MEMCACHED_LEVELS, 0)
     with pytest.raises(ValueError):
         make_changing_load(MEMCACHED_LEVELS, 1 * S, level_names=["low"])
+
+
+def test_switch_boundary_restarts_new_level_at_relative_zero():
+    shape = make_changing_load(MEMCACHED_LEVELS, 2 * S,
+                               switch_period_ns=500 * MS, rng=rng())
+    for start, segment in shape.segments[1:]:
+        assert shape.rate_at(start) == segment.rate_at(0)
+
+
+def test_duration_not_multiple_of_period_truncates_last_segment():
+    shape = make_changing_load(MEMCACHED_LEVELS, 1_200 * MS,
+                               switch_period_ns=500 * MS, rng=rng())
+    assert len(shape.segments) == 3  # 0, 500, 1000 ms
+    assert shape.segments[-1][0] == 1_000 * MS
+
+
+def test_period_at_least_duration_yields_single_segment():
+    exact = make_changing_load(MEMCACHED_LEVELS, 500 * MS,
+                               switch_period_ns=500 * MS, rng=rng())
+    longer = make_changing_load(MEMCACHED_LEVELS, 500 * MS,
+                                switch_period_ns=2 * S, rng=rng())
+    assert len(exact.segments) == 1
+    assert len(longer.segments) == 1
+
+
+def test_zero_and_negative_periods_rejected():
+    with pytest.raises(ValueError):
+        make_changing_load(MEMCACHED_LEVELS, 1 * S, switch_period_ns=0)
+    with pytest.raises(ValueError):
+        make_changing_load(MEMCACHED_LEVELS, 1 * S, switch_period_ns=-1)
+    with pytest.raises(ValueError):
+        make_changing_load(MEMCACHED_LEVELS, -1 * S)
+
+
+def test_two_level_pool_alternates_strictly():
+    shape = make_changing_load(MEMCACHED_LEVELS, 3 * S,
+                               switch_period_ns=500 * MS, rng=rng(),
+                               level_names=("low", "high"))
+    peaks = [seg.peak_rps for _, seg in shape.segments]
+    assert len(set(peaks)) == 2
+    assert all(a != b for a, b in zip(peaks, peaks[1:]))

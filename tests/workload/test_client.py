@@ -84,3 +84,59 @@ def test_completion_times_align_with_latencies(sim, nic):
         client.on_response(Packet(flow_id=0, size_bytes=64,
                                   created_ns=sim.now, request=pkt.request))
     assert client.completion_times_ns().size == client.latencies_ns().size
+
+
+# -- feed_arrivals: the fleet-embedding mode ------------------------------- #
+
+def test_feed_arrivals_delivers_like_a_schedule(sim, nic):
+    client = make_client(sim, nic)
+    client.feed_arrivals([0, 1 * MS, 2 * MS])
+    sim.run_until(10 * MS)
+    assert client.sent == 3
+    assert nic.rx_packets == 3
+
+
+def test_feed_arrivals_rejects_out_of_order_batches(sim, nic):
+    client = make_client(sim, nic)
+    client.feed_arrivals([0, 2 * MS])
+    with pytest.raises(ValueError, match="time order"):
+        client.feed_arrivals([1 * MS])
+
+
+def test_feed_arrivals_rearms_a_drained_doorbell(sim, nic):
+    client = make_client(sim, nic)
+    client.feed_arrivals([1 * MS])
+    sim.run_until(5 * MS)
+    assert client.sent == 1
+    client.feed_arrivals([6 * MS])  # schedule was exhausted: must re-arm
+    sim.run_until(10 * MS)
+    assert client.sent == 2
+    assert nic.rx_packets == 2
+
+
+def test_feed_arrivals_while_armed_extends_without_double_arming(sim, nic):
+    client = make_client(sim, nic)
+    client.feed_arrivals([5 * MS])
+    client.feed_arrivals([6 * MS])  # doorbell still pending
+    sim.run_until(10 * MS)
+    assert client.sent == 2
+    assert nic.rx_packets == 2
+
+
+def test_feed_arrivals_legacy_event_path(sim, nic):
+    client = OpenLoopClient(sim, nic, ConstantLoad(1000),
+                            RandomStreams(4).numpy_stream("client"),
+                            wire_latency_ns=5 * US, batch_arrivals=False)
+    client.feed_arrivals([0, 1 * MS])
+    sim.run_until(5 * MS)
+    client.feed_arrivals([6 * MS])
+    sim.run_until(10 * MS)
+    assert client.sent == 3
+    assert nic.rx_packets == 3
+
+
+def test_feed_empty_batch_is_a_noop(sim, nic):
+    client = make_client(sim, nic)
+    client.feed_arrivals([])
+    sim.run_until(1 * MS)
+    assert client.sent == 0

@@ -80,3 +80,55 @@ def test_validation():
         ClosedLoopClient(None, None, 0, None)
     with pytest.raises(ValueError):
         ClosedLoopClient(None, None, 1, None, think_time_ns=-1)
+
+
+def test_completion_after_deadline_does_not_reissue():
+    system = build_system()
+    client = attach_closed_loop(system, 1)
+    client.start(10 * MS)
+    system.sim.run_until(50 * MS)
+    sent = client.sent
+    # Everything in flight has drained; the chain died at the deadline.
+    assert client.sent - client.completed == 0
+    system.sim.run_until(80 * MS)
+    assert client.sent == sent
+
+
+def test_zero_think_time_reissues_at_completion_instant():
+    system = build_system()
+    client = attach_closed_loop(system, 1)
+    client.start(50 * MS)
+    system.sim.run_until(60 * MS)
+    # With zero think time the next request is created the instant the
+    # previous response lands: no inter-chain gap beyond service+stack.
+    assert client.sent == client.completed  # one extra in flight at most
+    assert client.completed > 50
+
+
+def test_think_time_longer_than_run_sends_once_per_chain():
+    system = build_system()
+    client = ClosedLoopClient(system.sim, system.nic, 3, rng=None,
+                              request_factory=system.app.request_factory(),
+                              think_time_ns=200 * MS)
+    system.stack.response_sink = client.on_response
+    client.start(50 * MS)
+    system.sim.run_until(100 * MS)
+    assert client.sent == 3
+    assert client.completed == 3
+
+
+def test_response_without_request_is_ignored():
+    from repro.nic.packet import Packet
+    system = build_system()
+    client = attach_closed_loop(system, 1)
+    client.start(10 * MS)
+    before = client.completed
+    client.on_response(Packet(flow_id=1, size_bytes=64, created_ns=0))
+    assert client.completed == before
+
+
+def test_throughput_requires_positive_duration():
+    system = build_system()
+    client = attach_closed_loop(system, 1)
+    with pytest.raises(ValueError):
+        client.throughput_rps(0)

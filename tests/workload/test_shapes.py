@@ -125,3 +125,46 @@ def test_arrival_counts_track_mean_property(peak, duty, rise):
     arrivals = generate_arrivals(shape, 500 * MS, rng())
     expected = shape.mean_rps() * 0.5
     assert arrivals.size == pytest.approx(expected, rel=0.25, abs=30)
+
+
+def test_piecewise_boundary_instant_belongs_to_new_segment():
+    """At the exact switch instant the new segment owns the rate, and
+    its shape is evaluated at relative time 0 (bursts restart)."""
+    burst = BurstLoad(peak_rps=10_000, period_ns=10 * MS, duty=0.5,
+                      rise_frac=0.2, phase_ns=3 * MS)
+    shape = PiecewiseLoad([(0, ConstantLoad(500.0)), (7 * MS, burst)])
+    assert shape.rate_at(7 * MS - 1) == 500.0
+    assert shape.rate_at(7 * MS) == burst.rate_at(0)
+    assert shape.rate_at(7 * MS + 1 * MS) == burst.rate_at(1 * MS)
+
+
+def test_piecewise_zero_duration_segment_never_contributes():
+    """Two segments starting at the same instant: the later one wins
+    from that instant on; the zero-length one is dead."""
+    shape = PiecewiseLoad([(0, ConstantLoad(100.0)),
+                           (5 * MS, ConstantLoad(999.0)),
+                           (5 * MS, ConstantLoad(200.0))])
+    assert shape.rate_at(5 * MS - 1) == 100.0
+    assert shape.rate_at(5 * MS) == 200.0
+    assert shape.rate_at(20 * MS) == 200.0
+    assert not np.any(shape.rate_at(np.arange(0, 20 * MS, MS)) == 999.0)
+
+
+def test_piecewise_before_first_segment_clamps_to_it():
+    shape = PiecewiseLoad([(2 * MS, ConstantLoad(300.0))])
+    assert shape.rate_at(0) == 300.0
+
+
+def test_burst_ramp_boundary_instants():
+    """Rate at the exact corners of the trapezoid: zero at burst start,
+    peak at end-of-rise, zero again from the burst's end."""
+    peak, period = 10_000.0, 10 * MS
+    shape = BurstLoad(peak_rps=peak, period_ns=period, duty=0.5,
+                      rise_frac=0.25)
+    burst_len = 0.5 * period
+    assert shape.rate_at(0) == 0.0
+    assert shape.rate_at(int(0.25 * burst_len)) == peak
+    assert shape.rate_at(int(0.75 * burst_len)) == peak  # start of fall
+    assert shape.rate_at(int(burst_len)) == 0.0
+    assert shape.rate_at(period - 1) == 0.0
+    assert shape.rate_at(period) == 0.0  # wraps to the next burst start
