@@ -17,10 +17,16 @@ A second pass re-runs the mix with a *disabled* ``TraceRecorder.record``
 call per burst event, measuring the observability hot-path tax when
 tracing is off. ``--assert-overhead PCT`` turns that into a CI gate.
 
+A third pass runs the mix on a ``Simulator(sanitize=True)`` — the
+runtime invariant checker of :mod:`repro.analysis.sanitize` — and
+records its slowdown. ``--assert-sanitize-overhead PCT`` gates it
+(the documented budget is <2x, i.e. 100%).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py [--out PATH]
         [--rounds N] [--assert-overhead PCT]
+        [--assert-sanitize-overhead PCT]
 """
 
 from __future__ import annotations
@@ -42,14 +48,16 @@ def _noop() -> None:
     pass
 
 
-def _run_mix(n_rounds: int, recorder: TraceRecorder = None) -> dict:
+def _run_mix(n_rounds: int, recorder: TraceRecorder = None,
+             sanitize: bool = False) -> dict:
     """One measured pass; returns the kernel's snapshot as gauge values.
 
     With ``recorder`` set, every burst event also issues one (disabled)
     ``record`` call — the per-event cost a run with tracing compiled in
-    but switched off would pay.
+    but switched off would pay. With ``sanitize``, the pass runs on a
+    sanitized simulator (generation-checked handles, causality checks).
     """
-    sim = Simulator()
+    sim = Simulator(sanitize=sanitize)
 
     if recorder is None:
         burst_cb = _noop
@@ -94,6 +102,11 @@ def main(argv=None) -> int:
                         metavar="PCT",
                         help="fail if the disabled-tracing pass is more "
                              "than PCT%% slower than the baseline")
+    parser.add_argument("--assert-sanitize-overhead", type=float,
+                        default=None, metavar="PCT",
+                        help="fail if the sanitized pass is more than "
+                             "PCT%% slower than the baseline (budget: "
+                             "100, i.e. <2x)")
     parser.add_argument("--out", type=Path,
                         default=Path(__file__).resolve().parent.parent
                         / "BENCH_eventloop.json",
@@ -111,6 +124,12 @@ def main(argv=None) -> int:
                             / base["sim_wall_seconds"] - 1.0) \
         if base["sim_wall_seconds"] > 0 else 0.0
 
+    sanitized = _best([_run_mix(args.rounds, sanitize=True)
+                       for _ in range(args.passes)])
+    sanitize_overhead_pct = 100.0 * (sanitized["sim_wall_seconds"]
+                                     / base["sim_wall_seconds"] - 1.0) \
+        if base["sim_wall_seconds"] > 0 else 0.0
+
     record = {
         "benchmark": "eventloop schedule/fire/cancel mix",
         "python": sys.version.split()[0],
@@ -120,18 +139,26 @@ def main(argv=None) -> int:
         "all_passes_events_per_sec": [round(p["sim_events_per_sec"])
                                       for p in base_passes],
         "tracing_disabled_overhead_pct": round(overhead_pct, 2),
+        "sanitizer_overhead_pct": round(sanitize_overhead_pct, 2),
     }
     record["best"]["sim_events_per_sec"] = round(
         base["sim_events_per_sec"])
     args.out.write_text(json.dumps(record, indent=2) + "\n")
     print(f"{record['best']['sim_events_per_sec']:,} events/s "
           f"(best of {args.passes}); disabled-tracing overhead "
-          f"{overhead_pct:+.1f}% -> {args.out}")
+          f"{overhead_pct:+.1f}%; sanitizer overhead "
+          f"{sanitize_overhead_pct:+.1f}% -> {args.out}")
 
     if args.assert_overhead is not None \
             and overhead_pct > args.assert_overhead:
         print(f"FAIL: disabled-tracing overhead {overhead_pct:.1f}% "
               f"exceeds the {args.assert_overhead:.1f}% budget",
+              file=sys.stderr)
+        return 1
+    if args.assert_sanitize_overhead is not None \
+            and sanitize_overhead_pct > args.assert_sanitize_overhead:
+        print(f"FAIL: sanitizer overhead {sanitize_overhead_pct:.1f}% "
+              f"exceeds the {args.assert_sanitize_overhead:.1f}% budget",
               file=sys.stderr)
         return 1
     return 0

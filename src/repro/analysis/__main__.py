@@ -1,0 +1,78 @@
+"""CLI: run the determinism linter.
+
+Usage::
+
+    python -m repro.analysis lint                    # lint src/repro
+    python -m repro.analysis lint --strict src/repro # the CI gate
+    python -m repro.analysis lint --json report.json tests/
+    python -m repro.analysis lint --select D001,D002 src/repro
+
+Without ``--strict`` the linter reports and exits 0 (informational).
+With it, any unsuppressed finding — including a suppression missing its
+justification (``S001``) — exits 1, which is what CI enforces on
+``src/repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.lint import RULES, lint_paths
+
+
+def cmd_lint(args) -> int:
+    paths = [Path(p) for p in args.paths]
+    for path in paths:
+        if not path.exists():
+            print(f"error: no such path: {path}", file=sys.stderr)
+            return 2
+    select = None
+    if args.select:
+        select = {r.strip().upper() for r in args.select.split(",")}
+        unknown = select - set(RULES)
+        if unknown:
+            print(f"error: unknown rules {sorted(unknown)}; known: "
+                  f"{sorted(RULES)}", file=sys.stderr)
+            return 2
+    report = lint_paths(paths, select=select)
+    print(report.render_text())
+    if args.json:
+        Path(args.json).write_text(report.to_json())
+        print(f"wrote {args.json}")
+    if args.strict and report.active():
+        print(f"STRICT: {len(report.active())} unsuppressed finding(s)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description="Static analysis for the determinism contract.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lint_parser = sub.add_parser(
+        "lint", help="run the determinism linter (rules D001-D005, U001)")
+    lint_parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)")
+    lint_parser.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 on any unsuppressed finding (the CI gate)")
+    lint_parser.add_argument(
+        "--json", metavar="PATH",
+        help="also write the machine-readable report to PATH")
+    lint_parser.add_argument(
+        "--select", metavar="RULES",
+        help="comma-separated rule ids to report (default: all)")
+    lint_parser.set_defaults(func=cmd_lint)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

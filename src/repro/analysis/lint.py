@@ -1,0 +1,545 @@
+"""Determinism linter: AST rules for the reproducibility contract.
+
+Simulation results must be a pure function of ``(config, seed)``. The
+hazards that break that are mundane Python: a ``time.time()`` snuck into
+a model, a ``random.random()`` bypassing the seeded stream registry, a
+``for x in some_set`` whose hash-dependent order leaks into event
+scheduling or float accumulation. Each rule here targets one hazard:
+
+========  ===========================================================
+Rule      Meaning
+========  ===========================================================
+``D001``  Wall-clock read (``time.time``, ``datetime.now``, ...).
+          ``time.perf_counter`` is allowed only in the modules of
+          :data:`PERF_COUNTER_ALLOWLIST`, which measure wall time *about*
+          simulations (never inside the model).
+``D002``  Unseeded or global randomness: module-level ``random.*``
+          draws, ``random.Random(...)`` not provably seeded via
+          :func:`repro.sim.rng.derive_stream` (or the module's own
+          ``_derive_seed``), ``numpy.random.default_rng()`` with no seed.
+``D003``  Iteration over an unordered collection (``set`` /
+          ``frozenset`` / ``vars()`` / ``__dict__``) whose order reaches
+          the event kernel (``schedule`` / ``schedule_at`` / ``push``).
+``D004``  Float accumulation over an unordered collection: ``sum()`` of
+          a set expression, or ``+=`` inside a loop over one.
+``D005``  Mutable default argument (shared across calls — state leaks
+          between runs).
+``U001``  A name bound to a ``<n> * NS/US/MS/S`` time expression whose
+          name does not end in ``_ns`` (the :mod:`repro.units`
+          convention; mixed units are how latency bugs start).
+``S001``  A suppression comment without a justification.
+========  ===========================================================
+
+Suppression is per line, with a mandatory justification::
+
+    t0 = time.time()  # repro: allow[D001] -- operator-facing timestamp
+
+Dict iteration is *not* flagged: CPython dicts are insertion-ordered,
+so ``d.keys()`` is deterministic whenever the inserts were. Sets are
+the genuine hazard — string hashes vary per process unless
+``PYTHONHASHSEED`` is pinned.
+
+Run ``python -m repro.analysis lint [--strict] [--json PATH] [paths]``;
+``--strict`` (the CI gate) exits non-zero on any unsuppressed finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Rule id -> one-line meaning (stable: the JSON report embeds these).
+RULES: Dict[str, str] = {
+    "D001": "wall-clock read in simulation code",
+    "D002": "unseeded or global random source",
+    "D003": "unordered iteration reaching the event kernel",
+    "D004": "float accumulation over an unordered collection",
+    "D005": "mutable default argument",
+    "U001": "time-valued name missing the _ns suffix",
+    "S001": "suppression without a justification",
+    "P000": "file does not parse",
+}
+
+#: Modules (matched as path suffixes) allowed to call
+#: ``time.perf_counter``: they time simulations from the outside
+#: (``RunResult.perf.wall_s``, CLI elapsed lines) and never feed the
+#: result back into the model.
+PERF_COUNTER_ALLOWLIST = frozenset({
+    "repro/system.py",            # RunResult.perf wall_s
+    "repro/cluster/fleet.py",     # FleetResult node perf wall_s
+    "repro/experiments/__main__.py",  # per-experiment elapsed line
+})
+
+_WALLCLOCK = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.clock_gettime", "time.clock_gettime_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+_PERF_COUNTER = frozenset({
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+})
+#: Module-level random functions that draw from the shared global PRNG.
+_GLOBAL_RANDOM = frozenset({
+    "betavariate", "choice", "choices", "expovariate", "gauss",
+    "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+    "randbytes", "randint", "random", "randrange", "sample", "seed",
+    "shuffle", "triangular", "uniform", "vonmisesvariate", "weibullvariate",
+})
+#: Callables that turn an experiment seed into a stream seed; a
+#: ``Random(...)`` whose argument passes through one of these is
+#: provably derived from the run's master seed.
+_SEED_DERIVERS = frozenset({"derive_stream", "_derive_seed"})
+#: Event-kernel entry points: set-ordered iteration must never feed them.
+_SCHEDULE_NAMES = frozenset({"schedule", "schedule_at", "push"})
+#: Time-unit constants from repro.units (ns-denominated).
+_UNIT_NAMES = frozenset({"NS", "US", "MS", "S"})
+
+_ALLOW_RE = re.compile(
+    r"#\s*repro:\s*allow\[([A-Z]\d{3}(?:\s*,\s*[A-Z]\d{3})*)\]"
+    r"(?:\s*--\s*(\S.*))?")
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+    justification: Optional[str] = None
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def render(self) -> str:
+        mark = " (suppressed)" if self.suppressed else ""
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule} {self.message}{mark}")
+
+    def to_dict(self) -> dict:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message,
+                "suppressed": self.suppressed,
+                "justification": self.justification}
+
+
+@dataclass
+class LintReport:
+    """Findings over a set of files, plus enough context to gate CI."""
+
+    findings: List[Finding]
+    files_scanned: int
+
+    def active(self) -> List[Finding]:
+        """Findings that are not suppressed (these fail ``--strict``)."""
+        return [f for f in self.findings if not f.suppressed]
+
+    def by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_json(self) -> str:
+        payload = {
+            "version": 1,
+            "files_scanned": self.files_scanned,
+            "rules": RULES,
+            "summary": {
+                "findings": len(self.findings),
+                "active": len(self.active()),
+                "suppressed": len(self.findings) - len(self.active()),
+                "by_rule": self.by_rule(),
+            },
+            "findings": [f.to_dict() for f in self.findings],
+        }
+        return json.dumps(payload, indent=2, sort_keys=False) + "\n"
+
+    def render_text(self) -> str:
+        lines = [f.render() for f in self.findings]
+        active = len(self.active())
+        lines.append(f"{self.files_scanned} files scanned, "
+                     f"{len(self.findings)} findings "
+                     f"({active} active, "
+                     f"{len(self.findings) - active} suppressed)")
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# Per-file analysis
+# --------------------------------------------------------------------- #
+
+class _Scope:
+    """One lexical scope's knowledge: which local names hold sets."""
+
+    def __init__(self) -> None:
+        self.set_names: set = set()
+
+
+class _FileLinter(ast.NodeVisitor):
+    """Single AST walk collecting findings for every rule."""
+
+    def __init__(self, path: str, perf_allowed: bool):
+        self.path = path
+        self.perf_allowed = perf_allowed
+        self.findings: List[Finding] = []
+        #: alias -> dotted origin ("np" -> "numpy",
+        #: "perf_counter" -> "time.perf_counter").
+        self.imports: Dict[str, str] = {}
+        self.scopes: List[_Scope] = [_Scope()]
+
+    # -- bookkeeping --------------------------------------------------- #
+
+    def _add(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.append(Finding(
+            rule=rule, path=self.path, line=node.lineno,
+            col=node.col_offset, message=message))
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.imports[alias.asname or alias.name.split(".")[0]] = \
+                alias.name
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module:
+            for alias in node.names:
+                self.imports[alias.asname or alias.name] = \
+                    f"{node.module}.{alias.name}"
+        self.generic_visit(node)
+
+    def _dotted(self, func: ast.AST) -> Optional[str]:
+        """Resolve a call target to a dotted origin through the imports.
+
+        ``t.time()`` after ``import time as t`` -> ``"time.time"``;
+        ``perf_counter()`` after ``from time import perf_counter`` ->
+        ``"time.perf_counter"``. Attribute chains rooted in anything
+        other than an imported module resolve to None — method calls on
+        local objects never alias stdlib modules here.
+        """
+        parts: List[str] = []
+        while isinstance(func, ast.Attribute):
+            parts.append(func.attr)
+            func = func.value
+        if not isinstance(func, ast.Name):
+            return None
+        origin = self.imports.get(func.id)
+        if origin is None:
+            return None
+        return ".".join([origin] + list(reversed(parts)))
+
+    # -- D003 / D004 helpers ------------------------------------------ #
+
+    def _is_unordered(self, node: ast.AST) -> bool:
+        """True when ``node`` evaluates to a hash-ordered collection."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return any(node.id in scope.set_names for scope in self.scopes)
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+            return (self._is_unordered(node.left)
+                    or self._is_unordered(node.right))
+        if isinstance(node, ast.Attribute) and node.attr == "__dict__":
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in (
+                    "set", "frozenset", "vars"):
+                return True
+            if isinstance(func, ast.Attribute) and func.attr in (
+                    "union", "intersection", "difference",
+                    "symmetric_difference"):
+                return self._is_unordered(func.value)
+        return False
+
+    @staticmethod
+    def _body_sinks(body: Sequence[ast.stmt]) -> Tuple[bool, bool]:
+        """(reaches event kernel, float-accumulates) for a loop body."""
+        schedules = False
+        accumulates = False
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in _SCHEDULE_NAMES):
+                    schedules = True
+                elif (isinstance(node, ast.AugAssign)
+                        and isinstance(node.op, ast.Add)):
+                    accumulates = True
+        return schedules, accumulates
+
+    # -- rule visitors -------------------------------------------------- #
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self._dotted(node.func)
+        if dotted is not None:
+            self._check_wallclock(node, dotted)
+            self._check_random(node, dotted)
+        if (isinstance(node.func, ast.Name) and node.func.id == "sum"
+                and node.args):
+            arg = node.args[0]
+            if self._is_unordered(arg):
+                self._add("D004", node,
+                          "sum() over an unordered collection: float "
+                          "accumulation order depends on hashing")
+            elif isinstance(arg, ast.GeneratorExp) and any(
+                    self._is_unordered(gen.iter)
+                    for gen in arg.generators):
+                self._add("D004", node,
+                          "sum() over a generator driven by an unordered "
+                          "collection: accumulation order depends on "
+                          "hashing")
+        self.generic_visit(node)
+
+    def _check_wallclock(self, node: ast.Call, dotted: str) -> None:
+        if dotted in _WALLCLOCK:
+            self._add("D001", node,
+                      f"wall-clock read {dotted}(): simulation state must "
+                      f"be a function of (config, seed) only — use "
+                      f"sim.now, or perf_counter in an allowlisted "
+                      f"perf module")
+        elif dotted in _PERF_COUNTER and not self.perf_allowed:
+            self._add("D001", node,
+                      f"{dotted}() outside the perf-module allowlist "
+                      f"(see repro.analysis.lint.PERF_COUNTER_ALLOWLIST)")
+
+    def _check_random(self, node: ast.Call, dotted: str) -> None:
+        if dotted.startswith("random.") and \
+                dotted.split(".", 1)[1] in _GLOBAL_RANDOM:
+            self._add("D002", node,
+                      f"{dotted}() draws from the process-global PRNG; "
+                      f"use a stream from repro.sim.rng instead")
+            return
+        if dotted in ("random.Random", "random.SystemRandom"):
+            if not node.args or not self._seed_derived(node.args[0]):
+                self._add("D002", node,
+                          "Random() not provably seeded via "
+                          "repro.sim.rng.derive_stream")
+            return
+        if dotted in ("numpy.random.default_rng", "numpy.random.RandomState",
+                      "numpy.random.Generator") and not node.args \
+                and not node.keywords:
+            self._add("D002", node,
+                      f"{dotted}() with no seed draws OS entropy; pass a "
+                      f"seed derived from the experiment seed")
+        elif dotted == "numpy.random.seed":
+            self._add("D002", node,
+                      "numpy.random.seed() mutates the global numpy PRNG; "
+                      "use repro.sim.rng streams")
+
+    @staticmethod
+    def _seed_derived(arg: ast.AST) -> bool:
+        """True when ``arg``'s value flows through a seed deriver."""
+        for node in ast.walk(arg):
+            if isinstance(node, ast.Call):
+                func = node.func
+                name = func.attr if isinstance(func, ast.Attribute) else \
+                    func.id if isinstance(func, ast.Name) else None
+                if name in _SEED_DERIVERS:
+                    return True
+        return False
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._is_unordered(node.iter):
+            schedules, accumulates = self._body_sinks(node.body)
+            if schedules:
+                self._add("D003", node,
+                          "iterating an unordered collection into the "
+                          "event kernel: same-timestamp event order "
+                          "would follow hash order — sort first")
+            elif accumulates:
+                self._add("D004", node,
+                          "accumulating over an unordered collection: "
+                          "float += order depends on hashing — sort "
+                          "first")
+        self.generic_visit(node)
+
+    def _check_defaults(self, node) -> None:
+        args = node.args
+        for default in list(args.defaults) + \
+                [d for d in args.kw_defaults if d is not None]:
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set,
+                                           ast.ListComp, ast.DictComp,
+                                           ast.SetComp))
+            if (isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in ("list", "dict", "set")):
+                mutable = True
+            if mutable:
+                self._add("D005", default,
+                          "mutable default argument is shared across "
+                          "calls (state leaks between runs); default to "
+                          "None and build inside")
+
+    def _visit_function(self, node) -> None:
+        self._check_defaults(node)
+        self._check_arg_units(node)
+        self.scopes.append(_Scope())
+        self.generic_visit(node)
+        self.scopes.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    # -- U001 + set-name tracking -------------------------------------- #
+
+    def _is_unit_expr(self, node: ast.AST) -> bool:
+        """True when the expression multiplies by an ns-unit constant.
+
+        Only top-level arithmetic counts: a unit constant buried in a
+        call argument (``Scale(duration_ns=300 * MS)``) types the
+        *argument*, not the name the call's result is bound to.
+        """
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.Mult):
+                for side in (node.left, node.right):
+                    if isinstance(side, ast.Name) and \
+                            side.id in _UNIT_NAMES and \
+                            self.imports.get(side.id, "").startswith(
+                                "repro.units"):
+                        return True
+            return (self._is_unit_expr(node.left)
+                    or self._is_unit_expr(node.right))
+        if isinstance(node, ast.UnaryOp):
+            return self._is_unit_expr(node.operand)
+        if isinstance(node, ast.IfExp):
+            return (self._is_unit_expr(node.body)
+                    or self._is_unit_expr(node.orelse))
+        return False
+
+    def _check_unit_name(self, name: str, node: ast.AST) -> None:
+        if not name.endswith("_ns"):
+            self._add("U001", node,
+                      f"{name!r} holds a nanosecond quantity (built from "
+                      f"a repro.units constant) but lacks the _ns "
+                      f"suffix")
+
+    def _check_arg_units(self, node) -> None:
+        args = node.args
+        positional = args.posonlyargs + args.args if hasattr(
+            args, "posonlyargs") else args.args
+        pos_defaults = args.defaults
+        for arg, default in zip(positional[len(positional)
+                                           - len(pos_defaults):],
+                                pos_defaults):
+            if self._is_unit_expr(default):
+                self._check_unit_name(arg.arg, default)
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+            if default is not None and self._is_unit_expr(default):
+                self._check_unit_name(arg.arg, default)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if self._is_unordered(node.value):
+                    self.scopes[-1].set_names.add(target.id)
+                else:
+                    self.scopes[-1].set_names.discard(target.id)
+                if self._is_unit_expr(node.value):
+                    self._check_unit_name(target.id, node)
+            elif isinstance(target, ast.Attribute) and \
+                    self._is_unit_expr(node.value):
+                self._check_unit_name(target.attr, node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None and isinstance(node.target, ast.Name):
+            if self._is_unordered(node.value):
+                self.scopes[-1].set_names.add(node.target.id)
+            if self._is_unit_expr(node.value):
+                self._check_unit_name(node.target.id, node)
+        self.generic_visit(node)
+
+
+# --------------------------------------------------------------------- #
+# Suppressions
+# --------------------------------------------------------------------- #
+
+def _apply_suppressions(findings: List[Finding], source: str,
+                        path: str) -> List[Finding]:
+    """Mark findings allowed by their line's pragma; flag bare pragmas.
+
+    A pragma without a ``-- justification`` is itself a finding
+    (``S001``): the whole point of an allowlist entry is the recorded
+    *why*.
+    """
+    allows: Dict[int, Tuple[set, Optional[str]]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _ALLOW_RE.search(text)
+        if match:
+            rules = {r.strip() for r in match.group(1).split(",")}
+            allows[lineno] = (rules, match.group(2))
+    for finding in findings:
+        entry = allows.get(finding.line)
+        if entry and finding.rule in entry[0]:
+            finding.suppressed = True
+            finding.justification = entry[1]
+    out = list(findings)
+    for lineno, (rules, justification) in sorted(allows.items()):
+        if justification is None:
+            out.append(Finding(
+                rule="S001", path=path, line=lineno, col=0,
+                message=f"suppression of {','.join(sorted(rules))} "
+                        f"carries no justification (write "
+                        f"'# repro: allow[RULE] -- why')"))
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Entry points
+# --------------------------------------------------------------------- #
+
+def _perf_allowed(path: Path) -> bool:
+    posix = path.as_posix()
+    return any(posix.endswith(entry) for entry in PERF_COUNTER_ALLOWLIST)
+
+
+def lint_file(path: Path, rel_to: Optional[Path] = None) -> List[Finding]:
+    """Lint one file; returns findings (suppressions already applied)."""
+    display = str(path.relative_to(rel_to) if rel_to else path)
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [Finding(rule="P000", path=display,
+                        line=exc.lineno or 1, col=exc.offset or 0,
+                        message=f"syntax error: {exc.msg}")]
+    linter = _FileLinter(display, perf_allowed=_perf_allowed(path))
+    linter.visit(tree)
+    return _apply_suppressions(linter.findings, source, display)
+
+
+def iter_python_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            out.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            out.append(path)
+    return out
+
+
+def lint_paths(paths: Sequence[Path],
+               rel_to: Optional[Path] = None,
+               select: Optional[Iterable[str]] = None) -> LintReport:
+    """Lint files/directories; ``select`` restricts to those rule ids."""
+    files = iter_python_files(paths)
+    findings: List[Finding] = []
+    for path in files:
+        findings.extend(lint_file(path, rel_to=rel_to))
+    if select is not None:
+        wanted = set(select)
+        findings = [f for f in findings if f.rule in wanted]
+    findings.sort(key=Finding.sort_key)
+    return LintReport(findings=findings, files_scanned=len(files))

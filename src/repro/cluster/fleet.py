@@ -23,6 +23,7 @@ Two dispatch paths:
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass
 from typing import List, Optional
@@ -42,8 +43,6 @@ from repro.system import RunResult, ServerSystem
 from repro.units import MS, S
 from repro.workload.profiles import levels_for
 from repro.workload.shapes import ScaledLoad, generate_arrivals
-
-import random
 
 
 @dataclass
@@ -117,9 +116,16 @@ class FleetSystem:
         self.views = [NodeView(i, node)
                       for i, node in enumerate(self.nodes)]
         self.policy = make_policy(config.policy, **config.policy_params)
+        # Audited (D002): the LB tie-break stream is seeded through
+        # derive_stream from the fleet seed — reruns and worker
+        # processes dispatch identically.
         self.policy.bind(self.views,
                          random.Random(derive_stream(config.seed,
                                                      "fleet", "lb")))
+        #: Lockstep invariant checker, armed when the nodes were built
+        #: sanitized (REPRO_SANITIZE=1); None otherwise, costing the
+        #: window loop one dead branch per window at most.
+        self._sanitizer = self.nodes[0].sim.sanitizer
         self.budget: Optional[PowerBudgetCoordinator] = None
         if config.fleet_budget_w is not None:
             self.budget = PowerBudgetCoordinator(
@@ -179,18 +185,23 @@ class FleetSystem:
                 node.client.feed_arrivals(batch)
             for node in self.nodes:
                 node._start_power()
+            sanitizing = self._sanitizer is not None
             t = 0
             while t < duration_ns:
                 t_next = min(t + window_ns, duration_ns)
                 if self.budget is not None:
                     self.budget.maybe_rebalance(t)
-                for node in self.nodes:
+                for nid, node in enumerate(self.nodes):
                     node.sim.run_until(t_next)
+                    if sanitizing:
+                        node.sim.sanitizer.check_lockstep_window(
+                            nid, t, t_next)
                 t = t_next
                 n_windows += 1
         else:
             for node in self.nodes:
                 node._start_power()
+            sanitizer = self._sanitizer
             idx = 0
             t = 0
             while t < duration_ns:
@@ -199,6 +210,13 @@ class FleetSystem:
                 while idx < len(times) and times[idx] < t_next:
                     nid = self.policy.choose(times[idx],
                                              int(sessions[idx]))
+                    if sanitizer is not None:
+                        # A feedback policy may only see arrivals of
+                        # its own window: anything earlier means the
+                        # balancer skipped a window, anything later
+                        # means it read state it could not have.
+                        sanitizer.check_dispatch(nid, times[idx],
+                                                 t, t_next)
                     self.views[nid].dispatched += 1
                     batches[nid].append(times[idx])
                     idx += 1
@@ -207,8 +225,11 @@ class FleetSystem:
                         node.client.feed_arrivals(batch)
                 if self.budget is not None:
                     self.budget.maybe_rebalance(t)
-                for node in self.nodes:
+                for nid, node in enumerate(self.nodes):
                     node.sim.run_until(t_next)
+                    if sanitizer is not None:
+                        node.sim.sanitizer.check_lockstep_window(
+                            nid, t, t_next)
                 t = t_next
                 n_windows += 1
 

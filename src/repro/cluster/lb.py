@@ -13,6 +13,10 @@ fleet seed, so reruns and worker processes dispatch identically.
 
 from __future__ import annotations
 
+# Audited (D002): ``random`` is imported for the Random type only —
+# no policy constructs or seeds a generator here. The single instance
+# every policy draws from is built by FleetSystem, seeded via
+# repro.sim.rng.derive_stream(config.seed, "fleet", "lb").
 import random
 from typing import Dict, List, Type
 

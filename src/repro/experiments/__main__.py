@@ -10,6 +10,7 @@ Usage::
     python -m repro.experiments trace fig9      # Perfetto span trace
     python -m repro.experiments report fig9 --telemetry
     python -m repro.experiments list            # ids + one-line summaries
+    python -m repro.experiments --sanitize fig9 # invariant-checked run
 
 Independent simulation runs fan out over ``--workers`` processes (or
 ``REPRO_WORKERS``); results are bit-identical to serial runs. Finished
@@ -57,6 +58,11 @@ def main(argv=None) -> int:
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore and don't write the persistent "
                              "run cache")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="run with the simulation sanitizer armed "
+                             "(REPRO_SANITIZE=1): kernel invariants are "
+                             "checked at runtime; results are "
+                             "bit-identical, wall time up to 2x")
     parser.add_argument("--markdown", metavar="PATH",
                         help="also write a markdown report to PATH")
     args = parser.parse_args(argv)
@@ -69,14 +75,19 @@ def main(argv=None) -> int:
     if args.no_cache:
         import os
         os.environ["REPRO_RUN_CACHE"] = "0"
+    if args.sanitize:
+        import os
+        os.environ["REPRO_SANITIZE"] = "1"
 
     sections = []
     all_ok = True
     for experiment_id in ids:
         runner.reset_cache_stats()
-        t0 = time.time()
+        # perf_counter, not time.time: the elapsed line must not jump
+        # with NTP/wall-clock adjustments (determinism lint D001).
+        t0 = time.perf_counter()
         result = run_experiment(experiment_id, scale, workers=args.workers)
-        elapsed = time.time() - t0
+        elapsed = time.perf_counter() - t0
         stats = runner.cache_stats()
         text = result.render()
         print(text)

@@ -42,9 +42,13 @@ class Event:
         seq: tie-breaker; preserves FIFO order among same-time events.
         fn: the callback; called with ``*args`` when the event fires.
         cancelled: set by :meth:`cancel`; cancelled events never fire.
+        gen: incarnation counter — bumped each time the object is reused
+            from the freelist, so a retained stale handle is detectable
+            (``repro.analysis.sanitize`` validates it against the
+            generation captured at schedule time).
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_queue")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "gen", "_queue")
 
     def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
         self.time = time
@@ -52,6 +56,7 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.gen = 0
         #: The owning queue while the event is pending; None once popped.
         self._queue: Optional["EventQueue"] = None
 
@@ -115,6 +120,7 @@ class EventQueue:
             ev.fn = fn
             ev.args = args
             ev.cancelled = False
+            ev.gen += 1  # new incarnation: stale handles become detectable
             ev._queue = self
             self.recycled_total += 1
         else:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from heapq import heappop as _heappop
 from sys import getrefcount
 from typing import Any, Callable, Optional
@@ -18,12 +19,27 @@ class Simulator:
         sim = Simulator()
         sim.schedule(10 * US, my_callback, arg)
         sim.run_until(1 * S)
+
+    ``sanitize=True`` (or the ``REPRO_SANITIZE=1`` environment variable,
+    consulted when the argument is None) attaches a
+    :class:`~repro.analysis.sanitize.SimSanitizer`: runtime invariant
+    checks (causality, freelist generations, energy conservation) with
+    bit-identical results. The default path is untouched — the
+    sanitizer shadows methods in the instance dict only.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, sanitize: Optional[bool] = None) -> None:
         self.now: int = 0
         self._queue = EventQueue()
         self._events_processed = 0
+        #: The attached SimSanitizer, or None for the zero-cost default.
+        self.sanitizer = None
+        if sanitize is None:
+            sanitize = os.environ.get("REPRO_SANITIZE", "").lower() in (
+                "1", "true", "on", "yes")
+        if sanitize:
+            from repro.analysis.sanitize import SimSanitizer
+            self.sanitizer = SimSanitizer(self)
 
     @property
     def events_processed(self) -> int:

@@ -489,10 +489,17 @@ class ServerSystem:
     def _measure_energy(self, duration_ns: int) -> EnergySummary:
         """Flush accounting and read energy over exactly [0, duration]."""
         self.processor.finalize()
-        return EnergySummary(
+        summary = EnergySummary(
             package_j=self.processor.energy.total_energy_j(duration_ns),
             cores_j=self.processor.energy.cores_energy_j(duration_ns),
             duration_s=duration_ns / S)
+        sanitizer = self.sim.sanitizer
+        if sanitizer is not None:
+            # Read-only conservation check: the meters are already
+            # integrated to duration_ns, so this perturbs nothing.
+            sanitizer.check_energy(self.processor.energy,
+                                   summary.package_j, summary.cores_j)
+        return summary
 
     def _stop_power(self) -> None:
         """Stop periodic machinery (before the drain window)."""

@@ -1,0 +1,7 @@
+"""D001 corpus: a wall-clock read inside simulation code."""
+
+import time
+
+
+def jitter_stamp():
+    return time.time()

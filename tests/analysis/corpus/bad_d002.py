@@ -1,0 +1,7 @@
+"""D002 corpus: a draw from the process-global PRNG."""
+
+import random
+
+
+def pick_core(n_cores):
+    return random.randrange(n_cores)

@@ -1,0 +1,7 @@
+"""D003 corpus: set iteration order leaking into the event kernel."""
+
+
+def wake_all(sim, sleepers):
+    pending = set(sleepers)
+    for core in pending:
+        sim.schedule(0, core.wake)

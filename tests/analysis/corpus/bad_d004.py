@@ -1,0 +1,9 @@
+"""D004 corpus: float accumulation ordered by set hashing."""
+
+
+def total_energy_j(meters):
+    live = set(meters)
+    total = 0.0
+    for meter in live:
+        total += meter.joules
+    return total

@@ -1,0 +1,6 @@
+"""D005 corpus: a mutable default shared across calls (and runs)."""
+
+
+def record_latency(value, history=[]):
+    history.append(value)
+    return history

@@ -1,0 +1,7 @@
+"""S001 corpus: a suppression pragma with no recorded why."""
+
+import time
+
+
+def stamp():
+    return time.time()  # repro: allow[D001]

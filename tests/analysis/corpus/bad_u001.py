@@ -1,0 +1,8 @@
+"""U001 corpus: a nanosecond quantity without the _ns suffix."""
+
+from repro.units import MS
+
+
+def deadline(now_ns):
+    timeout = 5 * MS
+    return now_ns + timeout

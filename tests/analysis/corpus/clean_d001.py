@@ -1,0 +1,5 @@
+"""Clean counterpart of bad_d001: time comes from the simulated clock."""
+
+
+def jitter_stamp(sim):
+    return sim.now

@@ -1,0 +1,10 @@
+"""Clean counterpart of bad_d002: a stream derived from the run seed."""
+
+import random
+
+from repro.sim.rng import derive_stream
+
+
+def pick_core(seed, n_cores):
+    rng = random.Random(derive_stream(seed, "corpus", "pick"))
+    return rng.randrange(n_cores)

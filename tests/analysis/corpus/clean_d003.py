@@ -1,0 +1,7 @@
+"""Clean counterpart of bad_d003: sort before touching the kernel."""
+
+
+def wake_all(sim, sleepers):
+    pending = set(sleepers)
+    for core in sorted(pending, key=lambda c: c.core_id):
+        sim.schedule(0, core.wake)

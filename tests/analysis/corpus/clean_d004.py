@@ -1,0 +1,9 @@
+"""Clean counterpart of bad_d004: accumulate in sorted order."""
+
+
+def total_energy_j(meters):
+    live = set(meters)
+    total = 0.0
+    for meter in sorted(live, key=lambda m: m.name):
+        total += meter.joules
+    return total

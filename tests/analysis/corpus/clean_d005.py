@@ -1,0 +1,8 @@
+"""Clean counterpart of bad_d005: default to None, build inside."""
+
+
+def record_latency(value, history=None):
+    if history is None:
+        history = []
+    history.append(value)
+    return history

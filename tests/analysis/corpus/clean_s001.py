@@ -1,0 +1,7 @@
+"""Clean counterpart of bad_s001: the suppression carries its why."""
+
+import time
+
+
+def stamp():
+    return time.time()  # repro: allow[D001] -- operator-facing log stamp

@@ -1,0 +1,8 @@
+"""Clean counterpart of bad_u001: the name carries its unit."""
+
+from repro.units import MS
+
+
+def deadline(now_ns):
+    timeout_ns = 5 * MS
+    return now_ns + timeout_ns

@@ -1,0 +1,87 @@
+"""Freelist safety: retained references vs. the recycling guards.
+
+The production kernel recycles fired events only when
+``sys.getrefcount`` proves no one else holds them. These tests pin both
+halves of that contract:
+
+* the *non-sanitized* kernel never recycles an event whose handle the
+  caller retained (the refcount guard works), and
+* the *sanitized* kernel detects the failure mode the guard is there to
+  prevent — if a retained-event object is nevertheless recycled and
+  reused (forced here through the freelist backdoor), touching the stale
+  handle raises instead of silently cancelling an unrelated event.
+"""
+
+import pytest
+
+from repro.analysis.sanitize import SanitizerError
+from repro.sim.simulator import Simulator
+
+
+def test_unsanitized_kernel_never_recycles_retained_event():
+    sim = Simulator()
+    retained = sim.schedule(5, lambda: None)
+    sim.run_until(10)
+    # The caller's reference kept the refcount above the guard: the
+    # fired event must not be on the freelist, and must still be intact.
+    assert retained not in sim._queue._free
+    assert retained.fn is not None
+    # An unretained event on the same path *is* recycled.
+    sim.schedule_at(12, lambda: None)
+    sim.run_until(20)
+    assert len(sim._queue._free) == 1
+    assert sim._queue._free[0] is not retained
+
+
+def test_unretained_events_are_recycled_and_reused():
+    sim = Simulator()
+    sim.schedule(1, lambda: None)
+    sim.run_until(2)
+    assert len(sim._queue._free) == 1
+    recycled = sim._queue._free[0]
+    reused = sim.schedule(3, lambda: None)
+    assert reused is recycled
+    assert sim._queue._free == []
+
+
+def test_sanitized_kernel_matches_production_recycling():
+    """Same freelist decisions: retained survives, unretained recycles."""
+    sim = Simulator(sanitize=True)
+    retained = sim.schedule(5, lambda: None)
+    sim.schedule(6, lambda: None)
+    sim.run_until(10)
+    assert len(sim._queue._free) == 1
+    assert sim._queue._free[0] is not retained._ev
+    assert retained.fn is not None  # handle still valid, gen unchanged
+    assert retained._ev.gen == retained._gen
+
+
+def test_sanitizer_flags_forced_reuse_of_retained_event():
+    """If the guard *had* failed, the stale handle raises on touch."""
+    sim = Simulator(sanitize=True)
+    retained = sim.schedule(5, lambda: None)
+    sim.run_until(10)
+    ev = retained._ev
+    # Force what a broken guard would do: recycle despite the handle.
+    ev.fn = None
+    ev.args = ()
+    sim._queue._free.append(ev)
+    reused = sim.schedule(12, lambda: None)
+    assert reused._ev is ev and ev.gen == retained._gen + 1
+    with pytest.raises(SanitizerError, match="use-after-free"):
+        retained.cancel()
+    # The *new* incarnation's handle works fine.
+    reused.cancel()
+    assert reused.cancelled
+
+
+def test_generation_counter_survives_many_reuses():
+    sim = Simulator(sanitize=True)
+    generations = set()
+    for _ in range(50):
+        sim.schedule(1, lambda: None)
+        sim.run_until(sim.now + 1)
+        free = sim._queue._free
+        if free:
+            generations.add(free[-1].gen)
+    assert max(generations) >= 2  # the same object cycled repeatedly
