@@ -50,6 +50,7 @@ from sys import getrefcount
 from typing import Optional
 
 from repro.sim.event import _FREELIST_MAX, Event, EventQueue
+from repro.units import S
 
 
 class SanitizerError(RuntimeError):
@@ -138,6 +139,15 @@ class SimSanitizer:
         self.recycles_checked = 0
         self.windows_checked = 0
         self.energy_checks = 0
+        #: Opt-in periodic energy-conservation variant: when armed (via
+        #: REPRO_SANITIZE_ENERGY_WINDOWS=1 on top of REPRO_SANITIZE=1),
+        #: fleet lockstep loops call :meth:`check_energy_window` every
+        #: window instead of only at the measurement boundary.
+        self.periodic_energy = os.environ.get(
+            "REPRO_SANITIZE_ENERGY_WINDOWS", "").lower() in (
+                "1", "true", "on", "yes")
+        self.energy_window_checks = 0
+        self._energy_floor = {}
         queue = sim._queue
         # Unbound originals, so the shadows can delegate.
         self._queue_push = EventQueue.push.__get__(queue)
@@ -285,6 +295,41 @@ class SimSanitizer:
                 f"dispatched to node {node_id} inside window "
                 f"[{window_start}, {window_end}) — the balancer used "
                 f"state it could not yet have observed")
+
+    def check_energy_window(self, package_energy, t_ns: int) -> None:
+        """Periodic (per lockstep window) energy-conservation variant.
+
+        Strictly read-only: :meth:`EnergyMeter.accrue` mutates the
+        meter's accumulator and checkpoint (changing later float
+        accumulation order), so this check *projects* each meter's
+        energy at ``t_ns`` without touching it. Checks that every
+        meter's checkpoint is inside the window, power is non-negative,
+        and projected energy never decreases between windows.
+        """
+        self.energy_window_checks += 1
+        meters = list(package_energy.core_meters.items())
+        meters.append(("uncore", package_energy._uncore))
+        floors = self._energy_floor
+        for name, meter in meters:
+            last = meter._last_time
+            if last > t_ns:
+                raise SanitizerError(
+                    f"energy window violation: meter {name} checkpoint "
+                    f"at {last} is past the window end {t_ns}")
+            power = meter._power_w
+            if power < 0.0:
+                raise SanitizerError(
+                    f"energy window violation: meter {name} draws "
+                    f"{power} W (negative)")
+            projected = meter._energy_j + power * (t_ns - last) / S
+            floor = floors.get(name)
+            if floor is not None \
+                    and projected < floor - 1e-9 * max(1.0, abs(floor)):
+                raise SanitizerError(
+                    f"energy window violation: meter {name} projects "
+                    f"{projected} J at {t_ns}, below the previous "
+                    f"window's {floor} J — energy went backwards")
+            floors[name] = projected
 
     def check_energy(self, package_energy, package_j: float,
                      cores_j: float, rel_tol: float = 1e-9) -> None:

@@ -4,8 +4,10 @@ power budget, and the lockstep lookahead."""
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Dict, Optional
 
+from repro.cluster.health import HealthPolicy
+from repro.faults.plan import FaultPlan
 from repro.sim.rng import derive_stream
 from repro.system import ServerConfig
 from repro.units import MS
@@ -48,6 +50,15 @@ class FleetConfig:
     fleet_budget_w: Optional[float] = None
     #: Budget redistribution cadence (rounded up to lockstep windows).
     budget_period_ns: int = 10 * MS
+    #: LB health checking / failover (``repro.cluster.health``); None
+    #: disables it — the dispatch paths are then untouched and fleet
+    #: results stay bit-identical to pre-health behaviour. Setting a
+    #: policy forces the windowed dispatch path even for feedback-free
+    #: policies (health inference needs per-window observation).
+    health: Optional[HealthPolicy] = None
+    #: Per-node fault plans (``repro.faults``), overriding the node
+    #: template's ``fault_plan`` for the named nodes only.
+    node_fault_plans: Dict[int, FaultPlan] = field(default_factory=dict)
     seed: int = 0
 
     def with_overrides(self, **kwargs) -> "FleetConfig":
@@ -63,8 +74,11 @@ class FleetConfig:
         if not 0 <= node_id < self.n_nodes:
             raise ValueError(f"node_id {node_id} out of range "
                              f"[0, {self.n_nodes})")
-        return self.node.with_overrides(seed=self.node_seed(node_id),
-                                        arrival_seed=None)
+        overrides = dict(seed=self.node_seed(node_id), arrival_seed=None)
+        plan = self.node_fault_plans.get(node_id)
+        if plan is not None:
+            overrides["fault_plan"] = plan
+        return self.node.with_overrides(**overrides)
 
     def arrival_seed(self) -> int:
         """Seed of the fleet-wide arrival schedule generator."""

@@ -31,6 +31,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.cluster.config import FleetConfig
+from repro.cluster.health import HealthMonitor
 from repro.cluster.lb import NodeView, make_policy
 from repro.cluster.power import PowerBudgetCoordinator
 from repro.metrics.energy import EnergySummary
@@ -126,6 +127,11 @@ class FleetSystem:
         #: sanitized (REPRO_SANITIZE=1); None otherwise, costing the
         #: window loop one dead branch per window at most.
         self._sanitizer = self.nodes[0].sim.sanitizer
+        #: LB health checker (``repro.cluster.health``); None keeps both
+        #: dispatch paths exactly as they were without health support.
+        self.monitor: Optional[HealthMonitor] = None
+        if config.health is not None:
+            self.monitor = HealthMonitor(self.views, config.health)
         self.budget: Optional[PowerBudgetCoordinator] = None
         if config.fleet_budget_w is not None:
             self.budget = PowerBudgetCoordinator(
@@ -172,7 +178,8 @@ class FleetSystem:
         window_ns = config.lb_wire_latency_ns
         n_windows = 0
 
-        if self.policy.feedback_free:
+        monitor = self.monitor
+        if self.policy.feedback_free and monitor is None:
             # Precompute the full dispatch and feed it before anything
             # runs: each node sees exactly the event sequence a
             # standalone client.start() would have produced.
@@ -194,8 +201,11 @@ class FleetSystem:
                 for nid, node in enumerate(self.nodes):
                     node.sim.run_until(t_next)
                     if sanitizing:
-                        node.sim.sanitizer.check_lockstep_window(
-                            nid, t, t_next)
+                        sanitizer = node.sim.sanitizer
+                        sanitizer.check_lockstep_window(nid, t, t_next)
+                        if sanitizer.periodic_energy:
+                            sanitizer.check_energy_window(
+                                node.processor.energy, t_next)
                 t = t_next
                 n_windows += 1
         else:
@@ -207,9 +217,22 @@ class FleetSystem:
             while t < duration_ns:
                 t_next = min(t + window_ns, duration_ns)
                 batches = [[] for _ in self.nodes]
+                if monitor is not None:
+                    # Window-cadence health inference. A node marked
+                    # down this window gets (budgeted) replacements of
+                    # its outstanding requests re-issued to healthy
+                    # nodes at the window start — fed first, so the
+                    # per-node arrival streams stay non-decreasing.
+                    for down_nid in monitor.observe_window():
+                        for _ in range(monitor.take_redispatch(down_nid)):
+                            target = monitor.fallback(down_nid)
+                            self.views[target].dispatched += 1
+                            batches[target].append(t)
                 while idx < len(times) and times[idx] < t_next:
                     nid = self.policy.choose(times[idx],
                                              int(sessions[idx]))
+                    if monitor is not None:
+                        nid = monitor.route(nid)
                     if sanitizer is not None:
                         # A feedback policy may only see arrivals of
                         # its own window: anything earlier means the
@@ -228,8 +251,11 @@ class FleetSystem:
                 for nid, node in enumerate(self.nodes):
                     node.sim.run_until(t_next)
                     if sanitizer is not None:
-                        node.sim.sanitizer.check_lockstep_window(
-                            nid, t, t_next)
+                        node_san = node.sim.sanitizer
+                        node_san.check_lockstep_window(nid, t, t_next)
+                        if node_san.periodic_energy:
+                            node_san.check_energy_window(
+                                node.processor.energy, t_next)
                 t = t_next
                 n_windows += 1
 
@@ -277,6 +303,8 @@ class FleetSystem:
         telemetry.counter("budget_rebalances_total",
                           "Power-budget redistributions",
                           subsystem="fleet").inc(rebalances)
+        if self.monitor is not None:
+            self.monitor.register_into(telemetry)
 
         return FleetResult(
             config=self.config,

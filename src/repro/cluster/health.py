@@ -1,0 +1,176 @@
+"""LB health checking, failover, and re-dispatch.
+
+A real L7 balancer cannot see inside a node; it infers health from the
+signals it already has — dispatches vs. completions. The
+:class:`HealthMonitor` applies that inference once per lockstep window
+(the LB's natural observation cadence): a node that stops completing
+while holding outstanding requests is *stalled*; enough consecutive
+stalled windows mark it down. Down nodes receive one probe request per
+probe interval (active health checking); everything else fails over to
+the least-outstanding healthy node. When a node goes down, up to
+``redispatch_budget`` of its outstanding requests are re-issued to
+healthy nodes — the application-level "retry against another backend".
+The re-issued requests are new requests; the originals may still
+complete after recovery (their responses then simply arrive late), as
+with real at-least-once retry semantics.
+
+Everything here is a deterministic function of window-boundary node
+state, so fleet runs with health checking remain pure functions of
+(config, seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Knobs of the LB health checker (all in lockstep windows)."""
+
+    #: Consecutive stalled windows before a node is marked down. A
+    #: lockstep window is the LB wire latency (microseconds), far
+    #: shorter than a service time, so this must span several service
+    #: times' worth of windows or quiet-but-healthy nodes flap.
+    down_after_windows: int = 50
+    #: Windows with completions (since mark-down, not necessarily
+    #: consecutive) before a down node is marked up again.
+    up_after_windows: int = 2
+    #: Probe cadence: a down node receives at most one probe request
+    #: every this many windows. Probes are live requests and are lost
+    #: while the node is truly dead, so probing every window would
+    #: itself shed a window's worth of traffic.
+    probe_every_windows: int = 50
+    #: A window with zero completions counts as stalled only when at
+    #: least this many dispatches are unanswered (an idle node is not
+    #: a dead node).
+    min_outstanding: int = 8
+    #: Maximum outstanding requests re-dispatched to healthy nodes when
+    #: a node is marked down.
+    redispatch_budget: int = 512
+
+    def __post_init__(self):
+        if self.down_after_windows < 1:
+            raise ValueError("down_after_windows must be >= 1")
+        if self.up_after_windows < 1:
+            raise ValueError("up_after_windows must be >= 1")
+        if self.min_outstanding < 1:
+            raise ValueError("min_outstanding must be >= 1")
+        if self.redispatch_budget < 0:
+            raise ValueError("redispatch_budget must be >= 0")
+        if self.probe_every_windows < 1:
+            raise ValueError("probe_every_windows must be >= 1")
+
+
+class HealthMonitor:
+    """Window-cadence health inference over the balancer's NodeViews."""
+
+    def __init__(self, views, policy: HealthPolicy):
+        self.views = views
+        self.policy = policy
+        n = len(views)
+        self.down = [False] * n
+        self._stalled = [0] * n
+        self._responsive = [0] * n
+        self._last_completed = [view.completed() for view in views]
+        self._probed = [False] * n
+        self._window_index = 0
+        self.redispatch_remaining = policy.redispatch_budget
+        # Telemetry.
+        self.marks_down = 0
+        self.marks_up = 0
+        self.probes = 0
+        self.failovers = 0
+        self.redispatched = 0
+
+    def observe_window(self) -> List[int]:
+        """Digest one window of completions; returns newly-down nodes.
+
+        Call at each lockstep window start, before dispatching the
+        window's arrivals.
+        """
+        newly_down: List[int] = []
+        policy = self.policy
+        self._window_index += 1
+        for i, view in enumerate(self.views):
+            completed = view.completed()
+            delta = completed - self._last_completed[i]
+            self._last_completed[i] = completed
+            self._probed[i] = False
+            if self.down[i]:
+                # Responsive windows accumulate (probes are sparse, so
+                # consecutive-window recovery would never trigger).
+                if delta > 0:
+                    self._responsive[i] += 1
+                    if self._responsive[i] >= policy.up_after_windows:
+                        self.down[i] = False
+                        self.marks_up += 1
+                        self._stalled[i] = 0
+            else:
+                stalled = (delta == 0
+                           and view.outstanding() >= policy.min_outstanding)
+                if stalled:
+                    self._stalled[i] += 1
+                    if self._stalled[i] >= policy.down_after_windows:
+                        self.down[i] = True
+                        self.marks_down += 1
+                        self._responsive[i] = 0
+                        newly_down.append(i)
+                else:
+                    self._stalled[i] = 0
+        return newly_down
+
+    def route(self, node_id: int) -> int:
+        """Final destination for a dispatch the policy chose.
+
+        Healthy nodes pass through. A down node gets one probe request
+        per probe interval (so recovery is observable); everything else
+        fails over to the least-outstanding healthy node.
+        """
+        if not self.down[node_id]:
+            return node_id
+        if (not self._probed[node_id]
+                and self._window_index % self.policy.probe_every_windows
+                == 0):
+            self._probed[node_id] = True
+            self.probes += 1
+            return node_id
+        self.failovers += 1
+        return self.fallback(node_id)
+
+    def fallback(self, node_id: int) -> int:
+        """Least-outstanding healthy node (or ``node_id`` if none)."""
+        best = None
+        best_key = None
+        for i, view in enumerate(self.views):
+            if self.down[i]:
+                continue
+            key = (view.outstanding(), view.node_id)
+            if best_key is None or key < best_key:
+                best, best_key = i, key
+        return node_id if best is None else best
+
+    def take_redispatch(self, node_id: int) -> int:
+        """Redispatch allowance for a freshly-down node (consumes budget)."""
+        want = min(self.views[node_id].outstanding(),
+                   self.redispatch_remaining)
+        self.redispatch_remaining -= want
+        self.redispatched += want
+        return want
+
+    def register_into(self, reg) -> None:
+        """Expose health-checker counters in a telemetry registry."""
+        reg.counter("lb_marked_down_total", "Nodes marked down",
+                    subsystem="fleet").inc(self.marks_down)
+        reg.counter("lb_marked_up_total", "Down nodes marked up again",
+                    subsystem="fleet").inc(self.marks_up)
+        reg.counter("lb_probes_total",
+                    "Probe requests routed to down nodes",
+                    subsystem="fleet").inc(self.probes)
+        reg.counter("lb_failovers_total",
+                    "Dispatches failed over from down nodes",
+                    subsystem="fleet").inc(self.failovers)
+        reg.counter("lb_redispatched_total",
+                    "Outstanding requests re-issued on mark-down",
+                    subsystem="fleet").inc(self.redispatched)

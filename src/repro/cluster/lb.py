@@ -34,9 +34,22 @@ class NodeView:
     def n_cores(self) -> int:
         return self.system.processor.n_cores
 
+    def completed(self) -> int:
+        """Completions the node has reported (window-granular, like a
+        real balancer's response accounting)."""
+        return self.system.client.completed
+
     def outstanding(self) -> int:
-        """Dispatched requests not yet answered (as the LB observes it)."""
-        return self.dispatched - self.system.client.completed
+        """Dispatched requests not yet answered (as the LB observes it).
+
+        Abandoned requests (client gave up after exhausting its retry
+        budget) tear their connection down, which the balancer observes
+        just like a response — without this, a blackout would inflate a
+        node's apparent load forever. ``gave_up`` is 0 whenever no retry
+        policy is configured, so non-fault fleets are unaffected.
+        """
+        client = self.system.client
+        return self.dispatched - client.completed - client.gave_up
 
     def relative_speed(self) -> float:
         """Mean core frequency as a fraction of the maximum (P0) clock.

@@ -52,6 +52,9 @@ def main(argv=None) -> int:
                              f"{', '.join(EXPERIMENTS)})")
     parser.add_argument("--full", action="store_true",
                         help="paper-sized scale (8 cores, longer runs)")
+    parser.add_argument("--quick", action="store_true",
+                        help="quick scale (the default; explicit spelling "
+                             "for scripts)")
     parser.add_argument("--workers", type=int, default=None, metavar="N",
                         help="processes for independent runs (default: "
                              "$REPRO_WORKERS or serial)")
@@ -71,6 +74,8 @@ def main(argv=None) -> int:
     unknown = [i for i in ids if i not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiment ids: {unknown}")
+    if args.full and args.quick:
+        parser.error("--full and --quick are mutually exclusive")
     scale = FULL if args.full else QUICK
     if args.no_cache:
         import os

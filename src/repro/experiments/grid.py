@@ -14,7 +14,9 @@ from typing import Dict, List, Optional, Tuple
 from repro.experiments import parallel
 from repro.experiments.base import ExperimentScale
 from repro.experiments.runner import run_cached
+from repro.faults.plan import FaultPlan
 from repro.system import RunResult, ServerConfig
+from repro.workload.retry import RetryPolicy
 
 FIG12_GOVERNORS = ("intel_powersave", "ondemand", "performance",
                    "nmap-simpl", "nmap")
@@ -27,36 +29,52 @@ GridKey = Tuple[str, str, str, str]  # (app, level, governor, sleep)
 
 
 def cell_config(app: str, level: str, governor: str, sleep: str,
-                scale: ExperimentScale) -> ServerConfig:
-    """The configuration of one grid cell."""
+                scale: ExperimentScale,
+                fault_plan: Optional[FaultPlan] = None,
+                retry: Optional[RetryPolicy] = None) -> ServerConfig:
+    """The configuration of one grid cell.
+
+    ``fault_plan``/``retry`` overlay a fault scenario (``repro.faults``)
+    and a client retry policy on the cell; both default to off, which
+    keeps the classic grid's configurations (and cache keys) unchanged.
+    """
     return ServerConfig(app=app, load_level=level, freq_governor=governor,
                         idle_governor=sleep, n_cores=scale.n_cores,
-                        seed=scale.seed)
+                        seed=scale.seed, fault_plan=fault_plan,
+                        retry=retry)
 
 
 def run_cell(app: str, level: str, governor: str, sleep: str,
-             scale: ExperimentScale) -> RunResult:
+             scale: ExperimentScale,
+             fault_plan: Optional[FaultPlan] = None,
+             retry: Optional[RetryPolicy] = None) -> RunResult:
     """Run (or fetch) one grid cell."""
-    config = cell_config(app, level, governor, sleep, scale)
+    config = cell_config(app, level, governor, sleep, scale,
+                         fault_plan=fault_plan, retry=retry)
     return run_cached(config, scale.duration_ns)
 
 
 def run_grid(governors, sleeps, scale: ExperimentScale,
              apps=APPS, levels=LOAD_LEVELS,
-             workers: Optional[int] = None) -> Dict[GridKey, RunResult]:
+             workers: Optional[int] = None,
+             fault_plan: Optional[FaultPlan] = None,
+             retry: Optional[RetryPolicy] = None) -> Dict[GridKey, RunResult]:
     """Run every (app, level, governor, sleep) combination.
 
     Cells are independent seeded systems, so with ``workers`` > 1 (or an
     ambient/environment worker count — see
     :func:`repro.experiments.parallel.resolve_workers`) they fan out over
     a process pool; per-cell results are identical to a serial run.
+    ``fault_plan``/``retry`` apply one fault scenario and retry policy
+    uniformly across the grid (``fault_resilience`` sweeps them).
     """
     keys: List[GridKey] = [(app, level, governor, sleep)
                            for app in apps
                            for level in levels
                            for governor in governors
                            for sleep in sleeps]
-    jobs = [(cell_config(*key, scale), scale.duration_ns) for key in keys]
+    jobs = [(cell_config(*key, scale, fault_plan=fault_plan, retry=retry),
+             scale.duration_ns) for key in keys]
     results = parallel.run_many(jobs, workers=workers)
     return dict(zip(keys, results))
 

@@ -1,0 +1,15 @@
+"""Deterministic fault injection (see docs/FAULTS.md).
+
+Public API::
+
+    from repro.faults import FaultPlan, FaultWindow, make_plan
+
+    plan = make_plan("loss-burst", duration_ns=300 * MS)
+    config = ServerConfig(fault_plan=plan, retry=RetryPolicy())
+"""
+
+from repro.faults.plan import KINDS, FaultPlan, FaultWindow, merged
+from repro.faults.scenarios import SCENARIOS, make_plan
+
+__all__ = ["FaultPlan", "FaultWindow", "KINDS", "merged",
+           "SCENARIOS", "make_plan"]

@@ -1,0 +1,111 @@
+"""Canned fault scenarios, parameterized by run duration.
+
+These are the scenarios the ``fault_resilience`` experiment sweeps;
+they are expressed as fractions of the run so quick and full scales
+exercise the same shapes. All builders return a :class:`FaultPlan`
+(``healthy`` returns None, i.e. no injector is built at all).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.faults.plan import (KIND_CORE_OFFLINE, KIND_DVFS_STUCK,
+                               KIND_IRQ_STORM, KIND_NIC_LOSS,
+                               KIND_NODE_CRASH, KIND_QUEUE_OVERFLOW,
+                               KIND_THROTTLE, FaultPlan, FaultWindow)
+
+
+def healthy_plan(duration_ns: int) -> Optional[FaultPlan]:
+    """No faults — the control arm."""
+    return None
+
+
+def loss_burst_plan(duration_ns: int, prob: float = 0.2,
+                    corrupt_prob: float = 0.05) -> FaultPlan:
+    """Two loss bursts, each 15% of the run, at 20%+5% drop/corrupt."""
+    burst = duration_ns * 15 // 100
+    return FaultPlan(windows=(
+        FaultWindow(KIND_NIC_LOSS, duration_ns * 20 // 100,
+                    duration_ns * 20 // 100 + burst,
+                    prob=prob, corrupt_prob=corrupt_prob),
+        FaultWindow(KIND_NIC_LOSS, duration_ns * 60 // 100,
+                    duration_ns * 60 // 100 + burst,
+                    prob=prob, corrupt_prob=corrupt_prob),
+    ))
+
+
+def irq_storm_plan(duration_ns: int, rate_hz: float = 50_000.0,
+                   cycles: float = 2_000.0) -> FaultPlan:
+    """A spurious-interrupt storm over the middle third, all cores."""
+    return FaultPlan(windows=(
+        FaultWindow(KIND_IRQ_STORM, duration_ns // 3,
+                    duration_ns * 2 // 3, rate_hz=rate_hz, cycles=cycles),
+    ))
+
+
+def throttle_plan(duration_ns: int, cap_index: int = 999) -> FaultPlan:
+    """Thermal throttling over the middle half of the run.
+
+    ``cap_index`` is clamped to the P-state table, so the default pins
+    every core to the slowest state regardless of processor profile.
+    """
+    return FaultPlan(windows=(
+        FaultWindow(KIND_THROTTLE, duration_ns // 4,
+                    duration_ns * 3 // 4, cap_index=cap_index),
+    ))
+
+
+def dvfs_stuck_plan(duration_ns: int, factor: float = 8.0) -> FaultPlan:
+    """DVFS transitions settle 8x slower over the middle half."""
+    return FaultPlan(windows=(
+        FaultWindow(KIND_DVFS_STUCK, duration_ns // 4,
+                    duration_ns * 3 // 4, factor=factor),
+    ))
+
+
+def queue_overflow_plan(duration_ns: int,
+                        rx_capacity: int = 8) -> FaultPlan:
+    """RX rings shrink to a few descriptors over the middle half."""
+    return FaultPlan(windows=(
+        FaultWindow(KIND_QUEUE_OVERFLOW, duration_ns // 4,
+                    duration_ns * 3 // 4, rx_capacity=rx_capacity),
+    ))
+
+
+def core_offline_plan(duration_ns: int) -> FaultPlan:
+    """Core 0 goes offline over the middle third of the run."""
+    return FaultPlan(windows=(
+        FaultWindow(KIND_CORE_OFFLINE, duration_ns // 3,
+                    duration_ns * 2 // 3, cores=(0,)),
+    ))
+
+
+def node_kill_plan(duration_ns: int) -> FaultPlan:
+    """Fail-stop crash from 30% to 60% of the run (then recovery)."""
+    return FaultPlan(windows=(
+        FaultWindow(KIND_NODE_CRASH, duration_ns * 30 // 100,
+                    duration_ns * 60 // 100),
+    ))
+
+
+SCENARIOS: Dict[str, Callable[[int], Optional[FaultPlan]]] = {
+    "healthy": healthy_plan,
+    "loss-burst": loss_burst_plan,
+    "irq-storm": irq_storm_plan,
+    "throttle": throttle_plan,
+    "dvfs-stuck": dvfs_stuck_plan,
+    "queue-overflow": queue_overflow_plan,
+    "core-offline": core_offline_plan,
+    "node-kill": node_kill_plan,
+}
+
+
+def make_plan(name: str, duration_ns: int) -> Optional[FaultPlan]:
+    """Build a named scenario's plan for a run of ``duration_ns``."""
+    try:
+        builder = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(f"unknown fault scenario {name!r}; "
+                         f"known: {sorted(SCENARIOS)}") from None
+    return builder(duration_ns)

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional
 
 _PID_SPANS = 1
 _PID_CHANNELS = 2
+_PID_FAULTS = 3
 
 #: Channels that mark point events rather than level changes.
 _INSTANT_SUFFIXES = ("ksoftirqd_wake",)
@@ -68,12 +69,15 @@ def _span_events(span_log, pid: int = _PID_SPANS,
 
 
 def _channel_events(trace, pid: int = _PID_CHANNELS,
-                    process_name: str = "telemetry channels") -> List[dict]:
+                    process_name: str = "telemetry channels",
+                    channels: Optional[List[str]] = None) -> List[dict]:
+    if channels is None:
+        channels = sorted(trace.channels())
     events: List[dict] = [{
         "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
         "args": {"name": process_name},
     }]
-    for tid, channel in enumerate(sorted(trace.channels())):
+    for tid, channel in enumerate(channels):
         events.append({
             "name": "thread_name", "ph": "M", "pid": pid,
             "tid": tid,
@@ -104,9 +108,19 @@ def perfetto_trace(result, include_channels: bool = True) -> dict:
         events.extend(_span_events(span_log))
     trace = getattr(result, "trace", None)
     if include_channels and trace is not None:
-        channels = list(trace.channels())
-        if channels:
-            events.extend(_channel_events(trace))
+        channels = sorted(trace.channels())
+        # Fault-injection channels get their own dedicated process
+        # track so degradation windows line up visually against the
+        # request spans and mode timelines they perturb. Healthy runs
+        # record no fault.* channels and emit no fault track.
+        fault = [c for c in channels if c.startswith("fault.")]
+        plain = [c for c in channels if not c.startswith("fault.")]
+        if plain:
+            events.extend(_channel_events(trace, channels=plain))
+        if fault:
+            events.extend(_channel_events(
+                trace, pid=_PID_FAULTS,
+                process_name="fault injection", channels=fault))
     meta: Dict[str, object] = {
         "model": "repro-nmap",
         "duration_ns": getattr(result, "duration_ns", None),
@@ -141,9 +155,21 @@ def fleet_perfetto_trace(fleet_result,
                                        process_name=f"node{i} requests"))
         trace = getattr(result, "trace", None)
         if include_channels and trace is not None and trace.channels():
-            events.extend(_channel_events(
-                trace, pid=pid_channels,
-                process_name=f"node{i} telemetry"))
+            channels = sorted(trace.channels())
+            fault = [c for c in channels if c.startswith("fault.")]
+            plain = [c for c in channels if not c.startswith("fault.")]
+            if plain:
+                events.extend(_channel_events(
+                    trace, pid=pid_channels,
+                    process_name=f"node{i} telemetry", channels=plain))
+            if fault:
+                # Fault tracks live past every node's pid pair so the
+                # healthy nodes' pid layout is unchanged.
+                events.extend(_channel_events(
+                    trace,
+                    pid=2 * len(fleet_result.node_results) + i + 1,
+                    process_name=f"node{i} fault injection",
+                    channels=fault))
     config = fleet_result.config
     meta: Dict[str, object] = {
         "model": "repro-nmap",

@@ -32,6 +32,7 @@ from repro.core.nmap_simpl import NmapSimplGovernor
 from repro.cpu.power import PowerModel
 from repro.cpu.profiles import PROCESSOR_PROFILES
 from repro.cpu.topology import Processor
+from repro.faults.plan import FaultPlan
 from repro.governors.ondemand import OndemandGovernor
 from repro.governors.registry import (FREQ_GOVERNORS, make_freq_governor,
                                       make_idle_governor)
@@ -49,6 +50,7 @@ from repro.sim.trace import TraceRecorder
 from repro.units import MS, S
 from repro.workload.client import OpenLoopClient
 from repro.workload.profiles import levels_for
+from repro.workload.retry import RetryPolicy
 from repro.workload.shapes import LoadShape, ScaledLoad
 
 #: Governor names handled by the system builder beyond the plain cpufreq
@@ -113,6 +115,14 @@ class ServerConfig:
     #: trains). Arrival times are identical either way; False restores
     #: the exact legacy event ordering (one heap entry per packet).
     batch_events: bool = True
+    #: Deterministic fault schedule (``repro.faults``; docs/FAULTS.md).
+    #: None or an empty plan builds no injector at all — the run is
+    #: bit-identical to one without fault support.
+    fault_plan: Optional[FaultPlan] = None
+    #: Client timeout/retry policy (``repro.workload.retry``). None arms
+    #: no timers and keeps the event stream bit-identical to a
+    #: retry-less client.
+    retry: Optional[RetryPolicy] = None
 
     def with_overrides(self, **kwargs) -> "ServerConfig":
         """A copy with fields replaced (convenience for sweeps)."""
@@ -232,7 +242,8 @@ class ServerSystem:
             wire_latency_ns=config.wire_latency_ns,
             n_flows=config.n_flows,
             batch_arrivals=config.batch_events,
-            span_log=self.spans)
+            span_log=self.spans,
+            retry=config.retry)
         if self.spans is not None:
             # Arm the per-layer stamp guards only for traced runs, so
             # untraced hot paths carry no per-packet checks.
@@ -276,6 +287,14 @@ class ServerSystem:
 
         if config.trace:
             self._wire_trace_probes()
+
+        #: Fault injector (``repro.faults``), built only for non-empty
+        #: plans: an absent/empty plan schedules zero events and swaps
+        #: zero methods, keeping healthy runs bit-identical.
+        self.faults = None
+        if config.fault_plan is not None and config.fault_plan.windows:
+            from repro.faults.inject import FaultInjector
+            self.faults = FaultInjector(self)
 
     # ------------------------------------------------------------------ #
 
@@ -367,10 +386,24 @@ class ServerSystem:
                     subsystem="workload").inc(client.sent)
         reg.counter("requests_completed_total", "Responses recorded",
                     subsystem="workload").inc(client.completed)
-        reg.counter("requests_dropped_total", "Requests tail-dropped",
+        reg.counter("requests_dropped_total",
+                    "Request packets dropped before reaching an RX ring",
                     subsystem="workload").inc(client.dropped)
+        reg.counter("requests_timed_out_total",
+                    "Client timeouts on unanswered requests",
+                    subsystem="workload").inc(client.timed_out)
+        reg.counter("requests_retried_total", "Retransmissions issued",
+                    subsystem="workload").inc(client.retries)
+        reg.counter("requests_abandoned_total",
+                    "Requests given up after the retry budget",
+                    subsystem="workload").inc(client.gave_up)
+        reg.counter("responses_duplicate_total",
+                    "Responses discarded as duplicates",
+                    subsystem="workload").inc(client.duplicates)
         reg.histogram("request_latency_ns", "End-to-end request latency",
                       subsystem="workload").observe_many(latencies_ns)
+        if self.faults is not None:
+            self.faults.register_into(reg)
 
         # NIC.
         nic = self.nic

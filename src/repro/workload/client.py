@@ -14,6 +14,7 @@ import numpy as np
 from repro.nic.packet import Packet
 from repro.obs.span import SpanLog, TraceContext
 from repro.workload.request import Request
+from repro.workload.retry import RetryPolicy
 from repro.workload.shapes import LoadShape, generate_arrivals
 
 
@@ -25,7 +26,8 @@ class OpenLoopClient:
                  wire_latency_ns: int = 5_000,
                  n_flows: Optional[int] = None,
                  batch_arrivals: bool = True,
-                 span_log: Optional[SpanLog] = None):
+                 span_log: Optional[SpanLog] = None,
+                 retry: Optional[RetryPolicy] = None):
         if n_flows is not None and n_flows < 1:
             raise ValueError("need at least one flow")
         self.sim = sim
@@ -51,6 +53,10 @@ class OpenLoopClient:
         #: TraceContext to each sampled request and folds it back into
         #: the log on response. None = tracing off (no per-request cost).
         self.span_log = span_log
+        #: Timeout/retry policy (``repro.workload.retry.RetryPolicy``).
+        #: None = no timers armed, no retransmissions — the event
+        #: stream is bit-identical to a client without retry support.
+        self.retry = retry
 
         self._arrivals: Optional[np.ndarray] = None
         #: The same schedule as plain Python ints (per-element ndarray
@@ -66,6 +72,15 @@ class OpenLoopClient:
         self.sent = 0
         self.dropped = 0
         self.completed = 0
+        #: Timer expiries on still-unanswered requests (retry mode).
+        self.timed_out = 0
+        #: Retransmissions issued.
+        self.retries = 0
+        #: Requests abandoned after exhausting the retry budget.
+        self.gave_up = 0
+        #: Responses discarded because the request already completed
+        #: (a retransmission raced its original's response).
+        self.duplicates = 0
         self._latencies: List[int] = []
         self._completion_times: List[int] = []
 
@@ -124,15 +139,30 @@ class OpenLoopClient:
         wire = self.wire_latency_ns
         i = self._next_idx
         n = len(arrivals)
-        while i < n:
-            t = arrivals[i]
-            if t + wire > now:
-                break
-            i += 1
-            self._next_idx = i
-            self.sent += 1
-            if not self.nic.receive(self._make_packet(t)):
-                self.dropped += 1
+        if self.retry is None:
+            while i < n:
+                t = arrivals[i]
+                if t + wire > now:
+                    break
+                i += 1
+                self._next_idx = i
+                self.sent += 1
+                if not self.nic.receive(self._make_packet(t)):
+                    self.dropped += 1
+        else:
+            while i < n:
+                t = arrivals[i]
+                if t + wire > now:
+                    break
+                i += 1
+                self._next_idx = i
+                self.sent += 1
+                packet = self._make_packet(t)
+                if not self.nic.receive(packet):
+                    self.dropped += 1
+                # Armed regardless of NIC acceptance: a dropped packet
+                # is exactly what the timeout exists to recover.
+                self._arm_timeout(packet.request)
         self._ring_next()
 
     def _make_packet(self, created_ns: int) -> Packet:
@@ -170,6 +200,39 @@ class OpenLoopClient:
     def _arrive(self, packet: Packet) -> None:
         if not self.nic.receive(packet):
             self.dropped += 1
+        if self.retry is not None:
+            self._arm_timeout(packet.request)
+
+    # -- timeouts and retransmissions (retry is not None) --------------- #
+
+    def _arm_timeout(self, request) -> None:
+        request.timeout_ev = self.sim.schedule(
+            self.retry.timeout_ns, self._on_timeout, request)
+
+    def _on_timeout(self, request) -> None:
+        request.timeout_ev = None
+        if request.completed_ns is not None:
+            return
+        self.timed_out += 1
+        retry = self.retry
+        if request.retries >= retry.max_retries:
+            self.gave_up += 1
+            return
+        attempt = request.retries
+        request.retries += 1
+        self.retries += 1
+        self.sim.schedule(retry.backoff_ns(attempt), self._resend, request)
+
+    def _resend(self, request) -> None:
+        if request.completed_ns is not None:
+            return  # the original's response arrived during backoff
+        packet = Packet(flow_id=request.flow_id,
+                        size_bytes=request.size_bytes,
+                        created_ns=self.sim.now, request=request)
+        # Latency stays anchored at the request's original created_ns:
+        # a retried request pays for its failed attempts, as a client
+        # measuring end-to-end response time would observe.
+        self.sim.schedule(self.wire_latency_ns, self._arrive, packet)
 
     # ------------------------------------------------------------------ #
 
@@ -190,6 +253,14 @@ class OpenLoopClient:
         request = packet.request
         if request is None:
             return
+        if self.retry is not None:
+            if request.completed_ns is not None:
+                self.duplicates += 1
+                return
+            ev = request.timeout_ev
+            if ev is not None:
+                self.sim.cancel(ev)
+                request.timeout_ev = None
         request.completed_ns = deliver_ns
         self.completed += 1
         self._latencies.append(deliver_ns - request.created_ns)

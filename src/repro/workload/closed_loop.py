@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.nic.packet import Packet
 from repro.workload.request import Request
+from repro.workload.retry import RetryPolicy
 
 
 class ClosedLoopClient:
@@ -24,7 +25,8 @@ class ClosedLoopClient:
 
     def __init__(self, sim, nic, concurrency: int, rng,
                  request_factory=None, think_time_ns: int = 0,
-                 wire_latency_ns: int = 5_000):
+                 wire_latency_ns: int = 5_000,
+                 retry: Optional[RetryPolicy] = None):
         if concurrency < 1:
             raise ValueError("need at least one outstanding request")
         if think_time_ns < 0:
@@ -37,10 +39,18 @@ class ClosedLoopClient:
             lambda flow_id, t: Request(flow_id, t))
         self.think_time_ns = think_time_ns
         self.wire_latency_ns = wire_latency_ns
+        #: Timeout/retry policy; None = legacy fire-and-forget chains
+        #: (a dropped packet kills its chain silently).
+        self.retry = retry
         self._flow_counter = 0
         self._stopped = False
         self.sent = 0
         self.completed = 0
+        self.dropped = 0
+        self.timed_out = 0
+        self.retries = 0
+        self.gave_up = 0
+        self.duplicates = 0
         self._latencies: List[int] = []
 
     def start(self, duration_ns: int) -> None:
@@ -57,14 +67,59 @@ class ClosedLoopClient:
         packet = Packet(flow_id=request.flow_id,
                         size_bytes=request.size_bytes,
                         created_ns=self.sim.now, request=request)
-        self.sim.schedule(self.wire_latency_ns, self.nic.receive, packet)
+        if self.retry is None:
+            # Legacy fire-and-forget path: exact historical event shape.
+            self.sim.schedule(self.wire_latency_ns, self.nic.receive,
+                              packet)
+        else:
+            self.sim.schedule(self.wire_latency_ns, self._arrive, packet)
         self.sent += 1
+
+    def _arrive(self, packet: Packet) -> None:
+        if not self.nic.receive(packet):
+            self.dropped += 1
+        request = packet.request
+        request.timeout_ev = self.sim.schedule(
+            self.retry.timeout_ns, self._on_timeout, request)
+
+    def _on_timeout(self, request: Request) -> None:
+        request.timeout_ev = None
+        if request.completed_ns is not None:
+            return
+        self.timed_out += 1
+        retry = self.retry
+        if request.retries >= retry.max_retries:
+            self.gave_up += 1
+            # Abandon the request but keep the chain alive: a closed-loop
+            # client opens its next request once this one is written off.
+            self._send_one()
+            return
+        attempt = request.retries
+        request.retries += 1
+        self.retries += 1
+        self.sim.schedule(retry.backoff_ns(attempt), self._resend, request)
+
+    def _resend(self, request: Request) -> None:
+        if request.completed_ns is not None:
+            return
+        packet = Packet(flow_id=request.flow_id,
+                        size_bytes=request.size_bytes,
+                        created_ns=self.sim.now, request=request)
+        self.sim.schedule(self.wire_latency_ns, self._arrive, packet)
 
     def on_response(self, packet: Packet) -> None:
         """Wire as the stack's response sink."""
         request = packet.request
         if request is None:
             return
+        if self.retry is not None:
+            if request.completed_ns is not None:
+                self.duplicates += 1
+                return
+            ev = request.timeout_ev
+            if ev is not None:
+                self.sim.cancel(ev)
+                request.timeout_ev = None
         request.completed_ns = self.sim.now
         self.completed += 1
         self._latencies.append(request.completed_ns - request.created_ns)

@@ -19,7 +19,7 @@ class Request:
     __slots__ = ("request_id", "flow_id", "kind", "created_ns", "size_bytes",
                  "service_cycles", "response_bytes", "acked_response",
                  "delivered_ns", "started_ns", "completed_ns", "core_id",
-                 "trace")
+                 "trace", "retries", "timeout_ev")
 
     def __init__(self, flow_id: int, created_ns: int, kind: str = "get",
                  size_bytes: int = 128, service_cycles: float = 0.0,
@@ -43,6 +43,10 @@ class Request:
         #: Span-tracing context (``repro.obs.span.TraceContext``) when the
         #: request is sampled for end-to-end tracing; None otherwise.
         self.trace = None
+        #: Retransmissions issued so far (clients with a RetryPolicy).
+        self.retries = 0
+        #: Pending client timeout event, when a RetryPolicy armed one.
+        self.timeout_ev = None
 
     @property
     def latency_ns(self) -> Optional[int]:

@@ -84,3 +84,63 @@ def test_unsanitized_fleet_has_no_sanitizer(monkeypatch):
     fleet = FleetSystem(_fleet_config())
     assert fleet._sanitizer is None
     assert all(node.sim.sanitizer is None for node in fleet.nodes)
+
+
+# -- periodic per-window energy-conservation variant ------------------------ #
+
+def test_energy_window_checks_are_off_by_default(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    monkeypatch.delenv("REPRO_SANITIZE_ENERGY_WINDOWS", raising=False)
+    fleet = FleetSystem(_fleet_config())
+    fleet.run(DURATION)
+    for node in fleet.nodes:
+        assert not node.sim.sanitizer.periodic_energy
+        assert node.sim.sanitizer.energy_window_checks == 0
+
+
+@pytest.mark.parametrize("policy", ["round-robin", "least-outstanding"])
+def test_energy_window_checks_run_when_armed(monkeypatch, policy):
+    """Both dispatch paths check every node each lockstep window —
+    read-only, so results stay bit-identical to the unsanitized run."""
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    base = run_fleet(_fleet_config(policy=policy), DURATION)
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    monkeypatch.setenv("REPRO_SANITIZE_ENERGY_WINDOWS", "1")
+    fleet = FleetSystem(_fleet_config(policy=policy))
+    checked = fleet.run(DURATION)
+    for node in fleet.nodes:
+        assert (node.sim.sanitizer.energy_window_checks
+                == checked.lockstep_windows)
+    assert np.array_equal(base.latencies_ns, checked.latencies_ns)
+    assert base.energy.package_j == checked.energy.package_j
+
+
+def test_energy_window_violations_raise(monkeypatch):
+    from repro.cpu.power import EnergyMeter, PackageEnergy
+    from repro.sim.simulator import Simulator
+
+    monkeypatch.setenv("REPRO_SANITIZE_ENERGY_WINDOWS", "1")
+    sanitizer = Simulator(sanitize=True).sanitizer
+    package = PackageEnergy.__new__(PackageEnergy)
+    package.core_meters = {0: EnergyMeter("core0")}
+    package._uncore = EnergyMeter("uncore")
+    sanitizer.check_energy_window(package, 1000)
+
+    # Checkpoint past the window end.
+    package.core_meters[0]._last_time = 5000
+    with pytest.raises(SanitizerError, match="past the window end"):
+        sanitizer.check_energy_window(package, 2000)
+    package.core_meters[0]._last_time = 0
+
+    # Negative power draw.
+    package._uncore._power_w = -1.0
+    with pytest.raises(SanitizerError, match="negative"):
+        sanitizer.check_energy_window(package, 2000)
+    package._uncore._power_w = 0.0
+
+    # Energy going backwards between windows.
+    package.core_meters[0]._energy_j = 10.0
+    sanitizer.check_energy_window(package, 3000)
+    package.core_meters[0]._energy_j = 9.0
+    with pytest.raises(SanitizerError, match="energy went backwards"):
+        sanitizer.check_energy_window(package, 4000)

@@ -1,0 +1,138 @@
+"""HealthMonitor unit tests against fake node views."""
+
+import pytest
+
+from repro.cluster.health import HealthMonitor, HealthPolicy
+from repro.obs.registry import TelemetryRegistry
+
+
+class FakeView:
+    def __init__(self, node_id):
+        self.node_id = node_id
+        self._completed = 0
+        self._outstanding = 0
+
+    def completed(self):
+        return self._completed
+
+    def outstanding(self):
+        return self._outstanding
+
+
+def make_monitor(n=3, **policy_kwargs):
+    views = [FakeView(i) for i in range(n)]
+    policy = HealthPolicy(**policy_kwargs)
+    return HealthMonitor(views, policy), views
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        HealthPolicy(down_after_windows=0)
+    with pytest.raises(ValueError):
+        HealthPolicy(up_after_windows=0)
+    with pytest.raises(ValueError):
+        HealthPolicy(min_outstanding=0)
+    with pytest.raises(ValueError):
+        HealthPolicy(redispatch_budget=-1)
+    with pytest.raises(ValueError):
+        HealthPolicy(probe_every_windows=0)
+
+
+def test_stalled_node_is_marked_down_after_threshold():
+    monitor, views = make_monitor(down_after_windows=3, min_outstanding=4)
+    views[1]._outstanding = 10  # stuck with work, completing nothing
+    assert monitor.observe_window() == []
+    assert monitor.observe_window() == []
+    assert monitor.observe_window() == [1]
+    assert monitor.down[1]
+    assert monitor.marks_down == 1
+
+
+def test_idle_node_is_not_a_dead_node():
+    monitor, views = make_monitor(down_after_windows=2, min_outstanding=4)
+    views[1]._outstanding = 2  # below min_outstanding: just idle
+    for _ in range(10):
+        assert monitor.observe_window() == []
+    assert not monitor.down[1]
+
+
+def test_completions_reset_the_stall_counter():
+    monitor, views = make_monitor(down_after_windows=3, min_outstanding=4)
+    views[1]._outstanding = 10
+    monitor.observe_window()
+    monitor.observe_window()
+    views[1]._completed += 1  # a response arrived just in time
+    assert monitor.observe_window() == []
+    assert not monitor.down[1]
+
+
+def _mark_down(monitor, views, nid):
+    views[nid]._outstanding = 10
+    while not monitor.down[nid]:
+        monitor.observe_window()
+
+
+def test_down_node_recovers_after_responsive_windows():
+    monitor, views = make_monitor(down_after_windows=2,
+                                  up_after_windows=2, min_outstanding=4)
+    _mark_down(monitor, views, 1)
+    views[1]._completed += 1
+    monitor.observe_window()
+    assert monitor.down[1]  # one responsive window is not enough
+    monitor.observe_window()  # quiet window must NOT reset progress
+    views[1]._completed += 1
+    monitor.observe_window()
+    assert not monitor.down[1]
+    assert monitor.marks_up == 1
+
+
+def test_route_passes_healthy_probes_sparsely_and_fails_over():
+    monitor, views = make_monitor(down_after_windows=1, min_outstanding=4,
+                                  probe_every_windows=5)
+    assert monitor.route(0) == 0  # healthy: untouched
+    _mark_down(monitor, views, 1)
+    views[0]._outstanding = 3
+    views[2]._outstanding = 1
+    # Advance to a probe window (multiple of probe_every_windows).
+    while monitor._window_index % 5 != 0:
+        monitor.observe_window()
+    assert monitor.route(1) == 1  # first hit in a probe window probes
+    assert monitor.probes == 1
+    assert monitor.route(1) == 2  # probe spent: least-outstanding healthy
+    assert monitor.failovers == 1
+    monitor.observe_window()  # not a probe window
+    assert monitor.route(1) == 2
+    assert monitor.probes == 1
+
+
+def test_fallback_prefers_least_outstanding_healthy_node():
+    monitor, views = make_monitor()
+    _mark_down(monitor, views, 0)
+    views[1]._outstanding = 7
+    views[2]._outstanding = 2
+    assert monitor.fallback(0) == 2
+
+
+def test_fallback_returns_self_when_no_node_is_healthy():
+    monitor, views = make_monitor(n=2, down_after_windows=1)
+    _mark_down(monitor, views, 0)
+    _mark_down(monitor, views, 1)
+    assert monitor.fallback(0) == 0
+
+
+def test_redispatch_consumes_a_finite_budget():
+    monitor, views = make_monitor(redispatch_budget=15)
+    views[1]._outstanding = 10
+    assert monitor.take_redispatch(1) == 10
+    assert monitor.take_redispatch(1) == 5  # budget exhausted at 15
+    assert monitor.take_redispatch(1) == 0
+    assert monitor.redispatched == 15
+
+
+def test_register_into_exposes_counters():
+    monitor, views = make_monitor(down_after_windows=1, min_outstanding=4)
+    _mark_down(monitor, views, 1)
+    reg = TelemetryRegistry()
+    monitor.register_into(reg)
+    assert reg.value("lb_marked_down_total", subsystem="fleet") == 1
+    assert reg.value("lb_failovers_total", subsystem="fleet") == 0

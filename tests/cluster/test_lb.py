@@ -28,6 +28,7 @@ class FakeProcessor:
 class FakeClient:
     def __init__(self):
         self.completed = 0
+        self.gave_up = 0
 
 
 class FakeSystem:

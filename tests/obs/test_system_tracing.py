@@ -102,6 +102,8 @@ def test_telemetry_registry_present_and_consistent():
     assert reg is not None
     assert reg.value("requests_completed_total",
                      subsystem="workload") == result.completed
+    assert reg.value("requests_dropped_total",
+                     subsystem="workload") == result.dropped
     assert reg.total("napi_pkts_total") == \
         result.pkts_interrupt_mode + result.pkts_polling_mode
     assert reg.value("traced_requests_total",
