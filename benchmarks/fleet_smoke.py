@@ -33,11 +33,16 @@ from repro.system import ServerConfig, ServerSystem  # noqa: E402
 from repro.units import MS  # noqa: E402
 
 
-def _fleet_config(n_nodes: int) -> FleetConfig:
+def _fleet_config(n_nodes: int, max_stride: int = 1) -> FleetConfig:
     node = ServerConfig(app="memcached", load_level="medium",
                         freq_governor="nmap", n_cores=2)
+    # The headline numbers pin max_stride_windows=1: the literal
+    # window-by-window loop, so the overhead ratio stays comparable
+    # across revisions. The adaptive-lookahead win is reported
+    # separately (and gated in benchmarks/fleet_scale.py).
     return FleetConfig(node=node, n_nodes=n_nodes, policy="round-robin",
-                       n_sessions=24, session_skew=1.1, seed=2)
+                       n_sessions=24, session_skew=1.1, seed=2,
+                       max_stride_windows=max_stride)
 
 
 def _time_fleet(config: FleetConfig, duration_ns: int):
@@ -92,6 +97,15 @@ def main(argv=None) -> int:
                           for _ in range(args.passes))
     overhead = (fleet_wall / standalone_wall
                 if standalone_wall > 0 else float("inf"))
+    # Per-window barrier cost: what the lockstep driver adds on top of
+    # the summed standalone event work, amortized over its windows.
+    barrier_overhead_us = ((fleet_wall - standalone_wall) * 1e6
+                           / result.lockstep_windows
+                           if result.lockstep_windows else None)
+    adaptive_wall = min(
+        _time_fleet(_fleet_config(args.nodes, max_stride=64),
+                    duration_ns)[0]
+        for _ in range(args.passes))
 
     record = {
         "benchmark": "fleet lockstep co-simulation smoke",
@@ -109,6 +123,14 @@ def main(argv=None) -> int:
         "standalone_wall_s_summed": round(standalone_wall, 4),
         "lockstep_overhead_ratio": round(overhead, 3),
         "fleet_completed_requests": result.completed,
+        "barrier_overhead_us_per_window": round(barrier_overhead_us, 4)
+        if barrier_overhead_us is not None else None,
+        "events_per_sec_per_node": round(fleet_events
+                                         / fleet_wall / args.nodes)
+        if fleet_wall > 0 else None,
+        "adaptive_stride_wall_s": round(adaptive_wall, 4),
+        "adaptive_stride_speedup_x": round(fleet_wall / adaptive_wall, 3)
+        if adaptive_wall > 0 else None,
     }
     args.out.write_text(json.dumps(record, indent=2) + "\n")
     print(f"fleet: {args.nodes} nodes x {args.duration_ms} ms in "

@@ -25,8 +25,9 @@ Rule      Meaning
 ``D005``  Mutable default argument (shared across calls — state leaks
           between runs).
 ``U001``  A name bound to a ``<n> * NS/US/MS/S`` time expression whose
-          name does not end in ``_ns`` (the :mod:`repro.units`
-          convention; mixed units are how latency bugs start).
+          name does not end in ``_ns`` (``_NS`` for UPPER_CASE
+          constants — the :mod:`repro.units` convention; mixed units
+          are how latency bugs start).
 ``S001``  A suppression comment without a justification.
 ========  ===========================================================
 
@@ -71,6 +72,7 @@ RULES: Dict[str, str] = {
 PERF_COUNTER_ALLOWLIST = frozenset({
     "repro/system.py",            # RunResult.perf wall_s
     "repro/cluster/fleet.py",     # FleetResult node perf wall_s
+    "repro/cluster/sharded.py",   # LockstepPerf.wall_s (sharded driver)
     "repro/experiments/__main__.py",  # per-experiment elapsed line
 })
 
@@ -418,11 +420,15 @@ class _FileLinter(ast.NodeVisitor):
         return False
 
     def _check_unit_name(self, name: str, node: ast.AST) -> None:
-        if not name.endswith("_ns"):
-            self._add("U001", node,
-                      f"{name!r} holds a nanosecond quantity (built from "
-                      f"a repro.units constant) but lacks the _ns "
-                      f"suffix")
+        # UPPER_CASE module constants carry the suffix in their own
+        # register (``PERIOD_NS``); everything else needs literal _ns.
+        if name.endswith("_ns") or (name.isupper()
+                                    and name.endswith("_NS")):
+            return
+        self._add("U001", node,
+                  f"{name!r} holds a nanosecond quantity (built from "
+                  f"a repro.units constant) but lacks the _ns "
+                  f"suffix")
 
     def _check_arg_units(self, node) -> None:
         args = node.args

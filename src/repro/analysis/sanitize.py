@@ -57,6 +57,62 @@ class SanitizerError(RuntimeError):
     """A simulation invariant was violated at runtime."""
 
 
+def check_dispatch_bounds(node_id: int, created_ns: int,
+                          window_start: int, window_end: int) -> None:
+    """A window may only dispatch arrivals created inside it.
+
+    Module-level twin of :meth:`SimSanitizer.check_dispatch` for
+    drivers that hold no simulator — the sharded fleet master runs the
+    balancer without a single local event kernel but must enforce the
+    same lookahead discipline.
+    """
+    if not window_start <= created_ns < window_end:
+        raise SanitizerError(
+            f"lookahead violation: arrival at {created_ns} "
+            f"dispatched to node {node_id} inside window "
+            f"[{window_start}, {window_end}) — the balancer used "
+            f"state it could not yet have observed")
+
+
+def check_stride_plan(stride_start: int, stride_end: int, window_ns: int,
+                      next_arrival_ns: Optional[int],
+                      budget_barrier_ns: Optional[int],
+                      monitor_idle: bool) -> None:
+    """Validate one adaptive-lookahead stride before it runs.
+
+    A stride coalesces lockstep windows and is exact only when nothing
+    the window-by-window loop would have done inside it can occur: no
+    arrival to dispatch past the first window, no power-budget firing,
+    no health observation with anything to observe. Called by the fleet
+    drivers under ``REPRO_SANITIZE=1`` (master-side; the per-node
+    lookahead bound stays with :meth:`SimSanitizer.check_lockstep_window`
+    as before).
+    """
+    if stride_end <= stride_start:
+        raise SanitizerError(
+            f"stride violation: empty stride [{stride_start}, "
+            f"{stride_end})")
+    if stride_end - stride_start > window_ns:
+        first_window_end = stride_start + window_ns
+        if next_arrival_ns is not None \
+                and next_arrival_ns < stride_end:
+            raise SanitizerError(
+                f"stride violation: stride [{stride_start}, {stride_end}) "
+                f"would swallow the arrival at {next_arrival_ns} — its "
+                f"dispatch belongs to window start "
+                f"{next_arrival_ns - next_arrival_ns % window_ns}")
+        if budget_barrier_ns is not None \
+                and stride_end > budget_barrier_ns:
+            raise SanitizerError(
+                f"stride violation: stride [{stride_start}, {stride_end}) "
+                f"crosses the power-budget barrier at {budget_barrier_ns}")
+        if not monitor_idle:
+            raise SanitizerError(
+                f"stride violation: stride [{stride_start}, {stride_end}) "
+                f"would skip health observations of active nodes "
+                f"(first window ends {first_window_end})")
+
+
 def sanitize_enabled() -> bool:
     """True when ``REPRO_SANITIZE`` requests sanitized simulators."""
     return os.environ.get("REPRO_SANITIZE", "").lower() in (
@@ -286,15 +342,25 @@ class SimSanitizer:
                 f"{now}, past its lockstep window "
                 f"[{window_start}, {window_end}]")
 
+    def check_lockstep_stride(self, node_id: int, stride_start: int,
+                              stride_end: int, n_windows: int) -> None:
+        """Stride-aware variant of :meth:`check_lockstep_window`.
+
+        An adaptive-lookahead stride spans ``n_windows`` base windows;
+        the node must respect the *stride* bound (each base window it
+        covers was proven dispatch-free, so the per-window bound
+        degenerates to the stride bound). Window accounting stays exact:
+        the base windows are credited to ``windows_checked`` so a
+        sanitized strided run reports the same coverage as a windowed
+        one.
+        """
+        self.windows_checked += n_windows - 1
+        self.check_lockstep_window(node_id, stride_start, stride_end)
+
     def check_dispatch(self, node_id: int, created_ns: int,
                        window_start: int, window_end: int) -> None:
         """A window may only dispatch arrivals created inside it."""
-        if not window_start <= created_ns < window_end:
-            raise SanitizerError(
-                f"lookahead violation: arrival at {created_ns} "
-                f"dispatched to node {node_id} inside window "
-                f"[{window_start}, {window_end}) — the balancer used "
-                f"state it could not yet have observed")
+        check_dispatch_bounds(node_id, created_ns, window_start, window_end)
 
     def check_energy_window(self, package_energy, t_ns: int) -> None:
         """Periodic (per lockstep window) energy-conservation variant.

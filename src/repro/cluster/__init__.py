@@ -23,11 +23,12 @@ from repro.cluster.cache import (run_fleet_cached, run_many_fleet,
 from repro.cluster.config import FleetConfig
 from repro.cluster.fleet import FleetResult, FleetSystem, run_fleet
 from repro.cluster.lb import POLICIES, DispatchPolicy, NodeView, make_policy
-from repro.cluster.power import PowerBudgetCoordinator
+from repro.cluster.power import BudgetArbiter, PowerBudgetCoordinator
+from repro.cluster.sharded import ShardedFleetSystem
 
 __all__ = [
     "FleetConfig", "FleetSystem", "FleetResult", "run_fleet",
     "run_fleet_cached", "run_many_fleet", "seed_fleet_cache",
     "DispatchPolicy", "NodeView", "POLICIES", "make_policy",
-    "PowerBudgetCoordinator",
+    "PowerBudgetCoordinator", "BudgetArbiter", "ShardedFleetSystem",
 ]

@@ -21,7 +21,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.config import FleetConfig
-from repro.cluster.fleet import FleetResult, FleetSystem
+from repro.cluster.fleet import FleetResult, run_fleet
 
 
 def _runner():
@@ -98,7 +98,7 @@ def run_fleet_cached(config: FleetConfig, duration_ns: int) -> FleetResult:
         _runner().cache_stats().disk_hits += 1
         _memo[key] = result
         return result
-    result = FleetSystem(config).run(duration_ns)
+    result = run_fleet(config, duration_ns)
     _count_fresh(result)
     _memo[key] = result
     _disk_store(key, result)

@@ -59,6 +59,25 @@ class FleetConfig:
     #: Per-node fault plans (``repro.faults``), overriding the node
     #: template's ``fault_plan`` for the named nodes only.
     node_fault_plans: Dict[int, FaultPlan] = field(default_factory=dict)
+    #: Per-node :class:`ServerConfig` field overrides (e.g. a different
+    #: ``freq_governor`` on some nodes — a mixed-governor fleet).
+    #: Applied by :meth:`node_config` after the seed/fault overrides, so
+    #: they may not override seeds.
+    node_overrides: Dict[int, dict] = field(default_factory=dict)
+    #: Worker processes the fleet is sharded over. 1 (default) runs the
+    #: classic in-process lockstep loop; >1 partitions the nodes across
+    #: processes stepped through the same window barriers
+    #: (``repro.cluster.sharded``). Results are bit-identical for every
+    #: value — the shard count is an execution detail, like
+    #: ``run_many_fleet``'s worker count.
+    shards: int = 1
+    #: Adaptive lookahead: the lockstep driver may coalesce up to this
+    #: many consecutive windows into one stride when no dispatch, health
+    #: observation, or budget decision could occur inside them (see
+    #: docs/CLUSTER.md). 1 disables coalescing and reproduces the
+    #: window-by-window loop literally; results are bit-identical for
+    #: every value — strides only skip provably-idle barrier work.
+    max_stride_windows: int = 64
     seed: int = 0
 
     def with_overrides(self, **kwargs) -> "FleetConfig":
@@ -78,6 +97,13 @@ class FleetConfig:
         plan = self.node_fault_plans.get(node_id)
         if plan is not None:
             overrides["fault_plan"] = plan
+        extra = self.node_overrides.get(node_id)
+        if extra:
+            if "seed" in extra or "arrival_seed" in extra:
+                raise ValueError(
+                    "node_overrides may not override seeds: per-node "
+                    "randomness derives from the fleet seed")
+            overrides.update(extra)
         return self.node.with_overrides(**overrides)
 
     def arrival_seed(self) -> int:

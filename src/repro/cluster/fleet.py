@@ -11,14 +11,34 @@ whole co-simulation stays deterministic and bit-reproducible.
 Two dispatch paths:
 
 * **Feedback-free policies** (round-robin): the entire dispatch is a
-  pure function of the arrival schedule, so it is precomputed and fed to
-  every node before power management starts — replicating the exact
-  standalone event ordering. A 1-node fleet is bit-identical to the
-  equivalent standalone run (enforced by test).
+  pure function of the arrival schedule, so it is precomputed
+  (vectorized, ``DispatchPolicy.choose_batch``) and fed to every node
+  before power management starts — replicating the exact standalone
+  event ordering. A 1-node fleet is bit-identical to the equivalent
+  standalone run (enforced by test).
 * **Feedback policies** (least-outstanding, p2c, power-aware): each
   window's arrivals are dispatched with the node states observed at the
   window start (stale by at most one wire latency, as for a real
   balancer), then fed before the window runs.
+
+The window loop itself is shared between execution backends through
+:func:`drive_lockstep`: the in-process :class:`FleetSystem` and the
+multiprocess ``repro.cluster.sharded`` driver run the *same* dispatch,
+health, budget, and stride decisions against an abstract node backend —
+which is how sharded runs stay bit-identical to serial ones by
+construction rather than by reimplementation.
+
+**Adaptive lookahead (strides).** The conservative window length bounds
+information flow, but most windows carry no information at all: no
+arrival to dispatch, no health observation with anything to observe, no
+budget period expiring. The driver coalesces such windows into one
+``run_until`` stride (up to ``FleetConfig.max_stride_windows``), which
+is exact because per-node event execution is barrier-invariant —
+``run_until(a); run_until(b)`` and ``run_until(b)`` fire the identical
+event sequence — and every LB-side read or write happens at a barrier
+the stride preserves. ``max_stride_windows=1`` reproduces the literal
+window-by-window loop; results are bit-identical either way (enforced
+by ``tests/cluster/test_stride.py``).
 """
 
 from __future__ import annotations
@@ -26,19 +46,21 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.analysis.sanitize import check_dispatch_bounds, check_stride_plan
 from repro.cluster.config import FleetConfig
 from repro.cluster.health import HealthMonitor
 from repro.cluster.lb import NodeView, make_policy
-from repro.cluster.power import PowerBudgetCoordinator
+from repro.cluster.power import BudgetArbiter, busy_ns, power_ladder
 from repro.metrics.energy import EnergySummary
 from repro.metrics.fleet import imbalance_ratio, node_p99s_ns
 from repro.metrics.latency import LatencyStats
 from repro.metrics.slo import SloResult, check_slo
 from repro.obs.registry import TelemetryRegistry
+from repro.sim.perf import LockstepPerf
 from repro.sim.rng import derive_stream
 from repro.system import RunResult, ServerSystem
 from repro.units import MS, S
@@ -68,6 +90,10 @@ class FleetResult:
     telemetry: Optional[TelemetryRegistry]
     lockstep_windows: int
     rebalances: int
+    #: Lockstep-drive counters (strides, shards, wall). Execution
+    #: detail: ``shards``/``wall_s`` legitimately differ between
+    #: bit-identical runs, so parity comparisons must skip this field.
+    perf: Optional[LockstepPerf] = None
 
     def latency_stats(self) -> LatencyStats:
         """Percentile summary over the whole fleet's requests."""
@@ -94,76 +120,391 @@ class FleetResult:
         return imbalance_ratio(self.node_p99s_ns(), self.p99_ns)
 
 
+# --------------------------------------------------------------------- #
+# The shared lockstep driver (serial and sharded backends).
+# --------------------------------------------------------------------- #
+
+def precompute_feedback_free(policy, views, times: List[int],
+                             sessions: np.ndarray,
+                             n_nodes: int) -> List[List[int]]:
+    """Dispatch a whole schedule up front (feedback-free policies only).
+
+    Vectorized when the policy supports ``choose_batch`` (bit-identical
+    to the scalar loop, enforced by test); the per-request fallback
+    keeps exotic feedback-free policies working.
+    """
+    times_arr = np.asarray(times, dtype=np.int64)
+    nodes = policy.choose_batch(times_arr, sessions)
+    if nodes is None:
+        batches: List[List[int]] = [[] for _ in range(n_nodes)]
+        for created, session in zip(times, sessions):
+            nid = policy.choose(created, int(session))
+            views[nid].dispatched += 1
+            batches[nid].append(created)
+        return batches
+    for view, count in zip(views, np.bincount(nodes, minlength=n_nodes)):
+        view.dispatched += int(count)
+    return [times_arr[nodes == nid].tolist() for nid in range(n_nodes)]
+
+
+def drive_lockstep(config: FleetConfig, duration_ns: int,
+                   times: List[int], sessions: np.ndarray, policy,
+                   monitor: Optional[HealthMonitor],
+                   arbiter: Optional[BudgetArbiter],
+                   backend) -> LockstepPerf:
+    """Advance a node backend through all lockstep windows of one run.
+
+    Owns every fleet-level decision — dispatch, health observation,
+    budget arbitration, stride coalescing — so any two backends given
+    the same config make the same decisions in the same order. The
+    backend only feeds arrivals, applies caps, and runs nodes to
+    barriers (``repro.cluster.sharded`` ships those over pipes; the
+    in-process backend calls straight into the nodes).
+    """
+    window_ns = config.lb_wire_latency_ns
+    n_nodes = config.n_nodes
+    views = backend.views
+    sanitizing = backend.sanitizing
+    max_stride = max(1, config.max_stride_windows)
+    if backend.periodic_energy:
+        # Per-window energy conservation is explicitly a *window*
+        # cadence check: honor it literally.
+        max_stride = 1
+    prefed = policy.feedback_free and monitor is None
+    perf = LockstepPerf()
+    n_times = len(times)
+
+    if prefed:
+        # Precompute the full dispatch and feed it before anything
+        # runs: each node sees exactly the event sequence a standalone
+        # client.start() would have produced.
+        backend.prefeed(precompute_feedback_free(
+            policy, views, times, sessions, n_nodes))
+        backend.start_power()
+        if arbiter is None and max_stride > 1:
+            # Nothing ever happens at a barrier: one stride to the end.
+            n_windows = -(-duration_ns // window_ns)
+            backend.run_span(0, duration_ns, n_windows, None, None,
+                             False, False, False)
+            perf.windows = n_windows
+            perf.strides = 1
+            perf.max_stride = n_windows
+            return perf
+    else:
+        backend.start_power()
+
+    want_state = not prefed
+    want_speed = want_state and policy.uses_speed
+    idx = 0
+    t = 0
+    while t < duration_ns:
+        batches = None
+        if not prefed:
+            batches = [[] for _ in range(n_nodes)]
+            window_end = min(t + window_ns, duration_ns)
+            if monitor is not None:
+                # Window-cadence health inference. A node marked down
+                # this window gets (budgeted) replacements of its
+                # outstanding requests re-issued to healthy nodes at
+                # the window start — fed first, so the per-node arrival
+                # streams stay non-decreasing.
+                for down_nid in monitor.observe_window():
+                    for _ in range(monitor.take_redispatch(down_nid)):
+                        target = monitor.fallback(down_nid)
+                        views[target].dispatched += 1
+                        monitor.on_dispatch(target)
+                        batches[target].append(t)
+            while idx < n_times and times[idx] < window_end:
+                created = times[idx]
+                nid = policy.choose(created, int(sessions[idx]))
+                if monitor is not None:
+                    nid = monitor.route(nid)
+                if sanitizing:
+                    # A feedback policy may only see arrivals of its
+                    # own window: anything earlier means the balancer
+                    # skipped a window, anything later means it read
+                    # state it could not have.
+                    check_dispatch_bounds(nid, created, t, window_end)
+                views[nid].dispatched += 1
+                if monitor is not None:
+                    monitor.on_dispatch(nid)
+                batches[nid].append(created)
+                idx += 1
+        caps = None
+        if arbiter is not None:
+            caps = arbiter.maybe_rebalance(t, backend.busy())
+
+        # Adaptive lookahead: coalesce windows in which provably
+        # nothing fleet-level can happen — no arrival to dispatch, no
+        # budget firing, no health observation with active nodes.
+        k = max_stride
+        barrier = None
+        if k > 1:
+            if arbiter is not None:
+                barrier = arbiter.next_fire_barrier(t, window_ns)
+                k = min(k, (barrier - t) // window_ns)
+            if not prefed:
+                if idx < n_times:
+                    k = min(k, (times[idx] // window_ns * window_ns - t)
+                            // window_ns)
+                if monitor is not None and not monitor.idle:
+                    k = 1
+            if k < 1:
+                k = 1
+        run_to = min(t + k * window_ns, duration_ns)
+        n_windows = -(-(run_to - t) // window_ns)
+        if n_windows > 1:
+            if monitor is not None:
+                monitor.fast_forward(n_windows - 1)
+            if sanitizing:
+                check_stride_plan(
+                    t, run_to, window_ns,
+                    times[idx] if (not prefed and idx < n_times) else None,
+                    barrier,
+                    monitor.idle if monitor is not None else True)
+        backend.run_span(
+            t, run_to, n_windows, batches, caps, want_state, want_speed,
+            arbiter is not None and run_to >= arbiter.next_fire_ns())
+        perf.windows += n_windows
+        perf.strides += 1
+        if n_windows > perf.max_stride:
+            perf.max_stride = n_windows
+        t = run_to
+    return perf
+
+
+def build_fleet_result(config: FleetConfig, duration_ns: int,
+                       node_results: List[RunResult],
+                       dispatched: Sequence[int], perf: LockstepPerf,
+                       rebalances: int,
+                       monitor: Optional[HealthMonitor]) -> FleetResult:
+    """Assemble a :class:`FleetResult` (shared by serial and sharded)."""
+    n_windows = perf.windows
+    latencies = (np.concatenate([r.latencies_ns for r in node_results])
+                 if node_results else np.empty(0, dtype=np.int64))
+    energy = EnergySummary(
+        package_j=sum(r.energy.package_j for r in node_results),
+        cores_j=sum(r.energy.cores_j for r in node_results),
+        duration_s=duration_ns / S)
+
+    telemetry = TelemetryRegistry()
+    for i, result in enumerate(node_results):
+        if result.telemetry is not None:
+            telemetry.merge_from(result.telemetry, node=i)
+    for i, count in enumerate(dispatched):
+        telemetry.counter("lb_dispatched_total",
+                          "Requests dispatched per node",
+                          subsystem="fleet", node=str(i)).inc(count)
+    telemetry.counter("lockstep_windows_total",
+                      "Conservative lockstep windows advanced",
+                      subsystem="fleet").inc(n_windows)
+    telemetry.counter("budget_rebalances_total",
+                      "Power-budget redistributions",
+                      subsystem="fleet").inc(rebalances)
+    perf.register_into(telemetry)
+    if monitor is not None:
+        monitor.register_into(telemetry)
+
+    return FleetResult(
+        config=config,
+        duration_ns=duration_ns,
+        node_results=node_results,
+        dispatched=list(dispatched),
+        sent=sum(r.sent for r in node_results),
+        completed=sum(r.completed for r in node_results),
+        dropped=sum(r.dropped for r in node_results),
+        latencies_ns=latencies,
+        energy=energy,
+        slo_ns=node_results[0].slo_ns,
+        telemetry=telemetry,
+        lockstep_windows=n_windows,
+        rebalances=rebalances,
+        perf=perf)
+
+
+def validate_fleet_config(config: FleetConfig) -> None:
+    """Shared constructor-time validation (serial and sharded)."""
+    if config.n_nodes < 1:
+        raise ValueError("need at least one node")
+    if config.n_sessions < 1:
+        raise ValueError("need at least one session")
+    if config.session_skew < 0:
+        raise ValueError("session_skew must be >= 0")
+    if config.shards < 1:
+        raise ValueError("shards must be >= 1")
+    if config.max_stride_windows < 1:
+        raise ValueError("max_stride_windows must be >= 1")
+    if not 0 < config.lb_wire_latency_ns <= config.node.wire_latency_ns:
+        raise ValueError(
+            f"lb_wire_latency_ns must be in (0, node wire latency "
+            f"{config.node.wire_latency_ns}], got "
+            f"{config.lb_wire_latency_ns}: the lookahead guarantee "
+            f"needs dispatches to arrive no earlier than one window")
+
+
+def fleet_load_shape(config: FleetConfig):
+    """The fleet-wide offered load: the node template's per-core shape
+    scaled by the fleet's total core count (mirrors ServerSystem's
+    per-core -> per-node scaling)."""
+    node_cfg = config.node
+    shape = node_cfg.load_shape
+    if shape is None:
+        shape = levels_for(node_cfg.app).level(node_cfg.load_level).shape()
+    total_cores = node_cfg.n_cores * config.n_nodes
+    if total_cores != 1:
+        shape = ScaledLoad(shape, total_cores)
+    return shape
+
+
+def fleet_schedule(config: FleetConfig, duration_ns: int):
+    """The fleet arrival schedule and session draws for one run."""
+    arrival_rng = np.random.default_rng(config.arrival_seed())
+    times = [int(t) for t in generate_arrivals(
+        fleet_load_shape(config), duration_ns, arrival_rng)]
+    return times, _session_ids(config, len(times))
+
+
+def _session_ids(config: FleetConfig, n_arrivals: int) -> np.ndarray:
+    """The session each arrival belongs to (zipf-weighted draw)."""
+    if config.n_sessions == 1 or n_arrivals == 0:
+        return np.zeros(n_arrivals, dtype=np.int64)
+    weights = np.arange(1, config.n_sessions + 1,
+                        dtype=np.float64) ** -config.session_skew
+    rng = np.random.default_rng(
+        derive_stream(config.seed, "fleet", "sessions"))
+    return rng.choice(config.n_sessions, size=n_arrivals,
+                      p=weights / weights.sum())
+
+
+def make_fleet_policy(config: FleetConfig, views):
+    """Instantiate and bind the dispatch policy for one fleet run."""
+    policy = make_policy(config.policy, **config.policy_params)
+    # Audited (D002): the LB tie-break stream is seeded through
+    # derive_stream from the fleet seed — reruns and worker
+    # processes dispatch identically.
+    policy.bind(views, random.Random(derive_stream(config.seed,
+                                                   "fleet", "lb")))
+    return policy
+
+
+# --------------------------------------------------------------------- #
+# In-process execution.
+# --------------------------------------------------------------------- #
+
+class _LocalBackend:
+    """The in-process node backend: direct calls into live systems.
+
+    Also the execution half of a sharded worker (``node_id_base`` maps
+    shard-local indices back to fleet node ids in sanitizer reports).
+    """
+
+    def __init__(self, nodes: List[ServerSystem], views: List[NodeView],
+                 node_id_base: int = 0):
+        self.nodes = nodes
+        self.views = views
+        self._base = node_id_base
+        sanitizer = nodes[0].sim.sanitizer
+        self.sanitizing = sanitizer is not None
+        self.periodic_energy = self.sanitizing and sanitizer.periodic_energy
+
+    def prefeed(self, batches: List[List[int]]) -> None:
+        for node, batch in zip(self.nodes, batches):
+            node.client.feed_arrivals(batch)
+
+    def start_power(self) -> None:
+        for node in self.nodes:
+            node._start_power()
+
+    def busy(self) -> List[int]:
+        return [busy_ns(node) for node in self.nodes]
+
+    def run_span(self, start: int, run_to: int, n_windows: int,
+                 batches, caps, want_state: bool, want_speed: bool,
+                 want_busy: bool) -> None:
+        # The want_* flags exist for the process-boundary backend; the
+        # local views read live state, so nothing needs shipping.
+        nodes = self.nodes
+        if batches is not None:
+            for node, batch in zip(nodes, batches):
+                if batch:
+                    node.client.feed_arrivals(batch)
+        if caps is not None:
+            for node, cap in zip(nodes, caps):
+                node.processor.set_pstate_cap(cap)
+        if not self.sanitizing:
+            for node in nodes:
+                node.sim.run_until(run_to)
+            return
+        for nid, node in enumerate(nodes):
+            node.sim.run_until(run_to)
+            sanitizer = node.sim.sanitizer
+            if n_windows == 1:
+                sanitizer.check_lockstep_window(self._base + nid, start,
+                                                run_to)
+            else:
+                sanitizer.check_lockstep_stride(self._base + nid, start,
+                                                run_to, n_windows)
+            if sanitizer.periodic_energy:
+                sanitizer.check_energy_window(node.processor.energy,
+                                              run_to)
+
+    def finish(self, duration_ns: int, drain_ns: int, release_caps: bool,
+               wall_start: float) -> List[RunResult]:
+        # Measurement boundary: energy over exactly [0, duration], then
+        # stop power management (and lift budget caps) and drain.
+        nodes = self.nodes
+        energies = [node._measure_energy(duration_ns) for node in nodes]
+        for node in nodes:
+            node._stop_power()
+        if release_caps:
+            for node in nodes:
+                node.processor.set_pstate_cap(0)
+        for node in nodes:
+            node.sim.run_until(duration_ns + drain_ns)
+        return [node._finalize_result(duration_ns, drain_ns, energy,
+                                      wall_start)
+                for node, energy in zip(nodes, energies)]
+
+
 class FleetSystem:
-    """N wired server nodes behind a load balancer, ready to run."""
+    """N wired server nodes behind a load balancer, ready to run.
+
+    Always executes in-process regardless of ``config.shards`` — the
+    :func:`run_fleet` entry point is what routes sharded configs to
+    ``repro.cluster.sharded`` (bit-identical either way).
+    """
 
     def __init__(self, config: FleetConfig):
-        if config.n_nodes < 1:
-            raise ValueError("need at least one node")
-        if config.n_sessions < 1:
-            raise ValueError("need at least one session")
-        if config.session_skew < 0:
-            raise ValueError("session_skew must be >= 0")
-        if not 0 < config.lb_wire_latency_ns <= config.node.wire_latency_ns:
-            raise ValueError(
-                f"lb_wire_latency_ns must be in (0, node wire latency "
-                f"{config.node.wire_latency_ns}], got "
-                f"{config.lb_wire_latency_ns}: the lookahead guarantee "
-                f"needs dispatches to arrive no earlier than one window")
+        validate_fleet_config(config)
         self.config = config
         self.nodes: List[ServerSystem] = [
             ServerSystem(config.node_config(i))
             for i in range(config.n_nodes)]
         self.views = [NodeView(i, node)
                       for i, node in enumerate(self.nodes)]
-        self.policy = make_policy(config.policy, **config.policy_params)
-        # Audited (D002): the LB tie-break stream is seeded through
-        # derive_stream from the fleet seed — reruns and worker
-        # processes dispatch identically.
-        self.policy.bind(self.views,
-                         random.Random(derive_stream(config.seed,
-                                                     "fleet", "lb")))
+        self.policy = make_fleet_policy(config, self.views)
         #: Lockstep invariant checker, armed when the nodes were built
         #: sanitized (REPRO_SANITIZE=1); None otherwise, costing the
         #: window loop one dead branch per window at most.
         self._sanitizer = self.nodes[0].sim.sanitizer
         #: LB health checker (``repro.cluster.health``); None keeps both
         #: dispatch paths exactly as they were without health support.
+        #: Hooked mode: the driver notifies every dispatch, so idle
+        #: windows observe in O(1).
         self.monitor: Optional[HealthMonitor] = None
         if config.health is not None:
-            self.monitor = HealthMonitor(self.views, config.health)
-        self.budget: Optional[PowerBudgetCoordinator] = None
+            self.monitor = HealthMonitor(self.views, config.health,
+                                         hooked=True)
+        self.budget: Optional[BudgetArbiter] = None
         if config.fleet_budget_w is not None:
-            self.budget = PowerBudgetCoordinator(
-                self.nodes, config.fleet_budget_w,
-                period_ns=config.budget_period_ns)
-
-        # The fleet-wide offered load: the node template's per-core shape
-        # scaled by the fleet's total core count (mirrors ServerSystem's
-        # per-core -> per-node scaling).
-        node_cfg = config.node
-        shape = node_cfg.load_shape
-        if shape is None:
-            shape = levels_for(node_cfg.app).level(
-                node_cfg.load_level).shape()
-        total_cores = node_cfg.n_cores * config.n_nodes
-        if total_cores != 1:
-            shape = ScaledLoad(shape, total_cores)
-        self.load_shape = shape
+            self.budget = BudgetArbiter(
+                [power_ladder(node.processor) for node in self.nodes],
+                config.fleet_budget_w,
+                period_ns=config.budget_period_ns,
+                initial_busy=[busy_ns(node) for node in self.nodes])
+        self.load_shape = fleet_load_shape(config)
 
     # ----------------------------------------------------------------- #
-
-    def _session_ids(self, n_arrivals: int) -> np.ndarray:
-        """The session each arrival belongs to (zipf-weighted draw)."""
-        cfg = self.config
-        if cfg.n_sessions == 1 or n_arrivals == 0:
-            return np.zeros(n_arrivals, dtype=np.int64)
-        weights = np.arange(1, cfg.n_sessions + 1,
-                            dtype=np.float64) ** -cfg.session_skew
-        rng = np.random.default_rng(
-            derive_stream(cfg.seed, "fleet", "sessions"))
-        return rng.choice(cfg.n_sessions, size=n_arrivals,
-                          p=weights / weights.sum())
 
     def run(self, duration_ns: int, drain_ns: int = 100 * MS) -> FleetResult:
         """Run the fleet for ``duration_ns``, then drain in-flight work."""
@@ -171,158 +512,28 @@ class FleetSystem:
             raise ValueError("duration must be positive")
         config = self.config
         wall_start = time.perf_counter()
-        arrival_rng = np.random.default_rng(config.arrival_seed())
-        times = [int(t) for t in generate_arrivals(
-            self.load_shape, duration_ns, arrival_rng)]
-        sessions = self._session_ids(len(times))
-        window_ns = config.lb_wire_latency_ns
-        n_windows = 0
-
-        monitor = self.monitor
-        if self.policy.feedback_free and monitor is None:
-            # Precompute the full dispatch and feed it before anything
-            # runs: each node sees exactly the event sequence a
-            # standalone client.start() would have produced.
-            batches: List[List[int]] = [[] for _ in self.nodes]
-            for t, session in zip(times, sessions):
-                nid = self.policy.choose(t, int(session))
-                self.views[nid].dispatched += 1
-                batches[nid].append(t)
-            for node, batch in zip(self.nodes, batches):
-                node.client.feed_arrivals(batch)
-            for node in self.nodes:
-                node._start_power()
-            sanitizing = self._sanitizer is not None
-            t = 0
-            while t < duration_ns:
-                t_next = min(t + window_ns, duration_ns)
-                if self.budget is not None:
-                    self.budget.maybe_rebalance(t)
-                for nid, node in enumerate(self.nodes):
-                    node.sim.run_until(t_next)
-                    if sanitizing:
-                        sanitizer = node.sim.sanitizer
-                        sanitizer.check_lockstep_window(nid, t, t_next)
-                        if sanitizer.periodic_energy:
-                            sanitizer.check_energy_window(
-                                node.processor.energy, t_next)
-                t = t_next
-                n_windows += 1
-        else:
-            for node in self.nodes:
-                node._start_power()
-            sanitizer = self._sanitizer
-            idx = 0
-            t = 0
-            while t < duration_ns:
-                t_next = min(t + window_ns, duration_ns)
-                batches = [[] for _ in self.nodes]
-                if monitor is not None:
-                    # Window-cadence health inference. A node marked
-                    # down this window gets (budgeted) replacements of
-                    # its outstanding requests re-issued to healthy
-                    # nodes at the window start — fed first, so the
-                    # per-node arrival streams stay non-decreasing.
-                    for down_nid in monitor.observe_window():
-                        for _ in range(monitor.take_redispatch(down_nid)):
-                            target = monitor.fallback(down_nid)
-                            self.views[target].dispatched += 1
-                            batches[target].append(t)
-                while idx < len(times) and times[idx] < t_next:
-                    nid = self.policy.choose(times[idx],
-                                             int(sessions[idx]))
-                    if monitor is not None:
-                        nid = monitor.route(nid)
-                    if sanitizer is not None:
-                        # A feedback policy may only see arrivals of
-                        # its own window: anything earlier means the
-                        # balancer skipped a window, anything later
-                        # means it read state it could not have.
-                        sanitizer.check_dispatch(nid, times[idx],
-                                                 t, t_next)
-                    self.views[nid].dispatched += 1
-                    batches[nid].append(times[idx])
-                    idx += 1
-                for node, batch in zip(self.nodes, batches):
-                    if batch:
-                        node.client.feed_arrivals(batch)
-                if self.budget is not None:
-                    self.budget.maybe_rebalance(t)
-                for nid, node in enumerate(self.nodes):
-                    node.sim.run_until(t_next)
-                    if sanitizer is not None:
-                        node_san = node.sim.sanitizer
-                        node_san.check_lockstep_window(nid, t, t_next)
-                        if node_san.periodic_energy:
-                            node_san.check_energy_window(
-                                node.processor.energy, t_next)
-                t = t_next
-                n_windows += 1
-
-        # Measurement boundary: energy over exactly [0, duration], then
-        # stop power management (and lift budget caps) and drain.
-        energies = [node._measure_energy(duration_ns)
-                    for node in self.nodes]
-        for node in self.nodes:
-            node._stop_power()
-        if self.budget is not None:
-            self.budget.release()
-        for node in self.nodes:
-            node.sim.run_until(duration_ns + drain_ns)
-        node_results = [
-            node._finalize_result(duration_ns, drain_ns, energy,
-                                  wall_start)
-            for node, energy in zip(self.nodes, energies)]
-        return self._build_result(duration_ns, node_results, n_windows)
-
-    # ----------------------------------------------------------------- #
-
-    def _build_result(self, duration_ns: int,
-                      node_results: List[RunResult],
-                      n_windows: int) -> FleetResult:
-        dispatched = [view.dispatched for view in self.views]
-        rebalances = self.budget.rebalances if self.budget else 0
-        latencies = (np.concatenate([r.latencies_ns for r in node_results])
-                     if node_results else np.empty(0, dtype=np.int64))
-        energy = EnergySummary(
-            package_j=sum(r.energy.package_j for r in node_results),
-            cores_j=sum(r.energy.cores_j for r in node_results),
-            duration_s=duration_ns / S)
-
-        telemetry = TelemetryRegistry()
-        for i, result in enumerate(node_results):
-            if result.telemetry is not None:
-                telemetry.merge_from(result.telemetry, node=i)
-        for i, count in enumerate(dispatched):
-            telemetry.counter("lb_dispatched_total",
-                              "Requests dispatched per node",
-                              subsystem="fleet", node=str(i)).inc(count)
-        telemetry.counter("lockstep_windows_total",
-                          "Conservative lockstep windows advanced",
-                          subsystem="fleet").inc(n_windows)
-        telemetry.counter("budget_rebalances_total",
-                          "Power-budget redistributions",
-                          subsystem="fleet").inc(rebalances)
-        if self.monitor is not None:
-            self.monitor.register_into(telemetry)
-
-        return FleetResult(
-            config=self.config,
-            duration_ns=duration_ns,
-            node_results=node_results,
-            dispatched=dispatched,
-            sent=sum(r.sent for r in node_results),
-            completed=sum(r.completed for r in node_results),
-            dropped=sum(r.dropped for r in node_results),
-            latencies_ns=latencies,
-            energy=energy,
-            slo_ns=node_results[0].slo_ns,
-            telemetry=telemetry,
-            lockstep_windows=n_windows,
-            rebalances=rebalances)
+        times, sessions = fleet_schedule(config, duration_ns)
+        backend = _LocalBackend(self.nodes, self.views)
+        perf = drive_lockstep(config, duration_ns, times, sessions,
+                              self.policy, self.monitor, self.budget,
+                              backend)
+        node_results = backend.finish(duration_ns, drain_ns,
+                                      self.budget is not None, wall_start)
+        perf.shards = 1
+        perf.wall_s = time.perf_counter() - wall_start
+        return build_fleet_result(
+            config, duration_ns, node_results,
+            [view.dispatched for view in self.views], perf,
+            self.budget.rebalances if self.budget else 0, self.monitor)
 
 
 def run_fleet(config: FleetConfig, duration_ns: int,
               drain_ns: int = 100 * MS) -> FleetResult:
-    """Build a :class:`FleetSystem` from ``config`` and run it."""
+    """Run ``config`` for ``duration_ns``: in-process when
+    ``config.shards`` is 1, across worker processes otherwise —
+    bit-identical results either way."""
+    if config.shards > 1 and config.n_nodes > 1:
+        from repro.cluster.sharded import ShardedFleetSystem
+        return ShardedFleetSystem(config).run(duration_ns,
+                                              drain_ns=drain_ns)
     return FleetSystem(config).run(duration_ns, drain_ns=drain_ns)

@@ -17,12 +17,33 @@ with real at-least-once retry semantics.
 Everything here is a deterministic function of window-boundary node
 state, so fleet runs with health checking remain pure functions of
 (config, seed).
+
+Two observation modes share one decision procedure:
+
+* **Full-scan** (default): :meth:`observe_window` reads every view.
+  The standalone contract — what the unit tests pin down.
+* **Dispatch-hooked** (``hooked=True``, used by the fleet drivers): the
+  embedder promises to call :meth:`on_dispatch` for *every* dispatch,
+  which lets the monitor keep an *active set* — a node can only become
+  stall-suspect (``outstanding >= min_outstanding``) through dispatches,
+  so nodes outside the set provably scan to "healthy, not stalled" and
+  are skipped. An idle fleet's observation is O(1) instead of O(nodes),
+  and a fully idle span of windows collapses to
+  :meth:`fast_forward` — the hook that makes adaptive-lookahead strides
+  exact. Both modes make bit-identical decisions (enforced by test).
+
+Probe scheduling keeps no per-window state at all: instead of resetting
+a per-node "probed this window" flag every observation, each down node
+carries its next eligible probe window, mirrored into a small heap whose
+top answers "could any probe fire this window?" in O(1) on the dispatch
+path.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import List
+from typing import List, Set
 
 
 @dataclass(frozen=True)
@@ -66,7 +87,7 @@ class HealthPolicy:
 class HealthMonitor:
     """Window-cadence health inference over the balancer's NodeViews."""
 
-    def __init__(self, views, policy: HealthPolicy):
+    def __init__(self, views, policy: HealthPolicy, hooked: bool = False):
         self.views = views
         self.policy = policy
         n = len(views)
@@ -74,9 +95,20 @@ class HealthMonitor:
         self._stalled = [0] * n
         self._responsive = [0] * n
         self._last_completed = [view.completed() for view in views]
-        self._probed = [False] * n
         self._window_index = 0
         self.redispatch_remaining = policy.redispatch_budget
+        #: Dispatch-hooked mode: the embedder calls :meth:`on_dispatch`
+        #: for every dispatch, so observation may skip inactive nodes.
+        self.hooked = hooked
+        #: Nodes that could possibly be stalled or are down. Invariants
+        #: (hooked mode): inactive => not down, _stalled == 0, and
+        #: outstanding < min_outstanding (outstanding only grows through
+        #: a dispatch, which activates).
+        self._active: Set[int] = set()
+        #: Next eligible probe window per down node (lazy — replaces the
+        #: old per-window probed-flag reset), mirrored in a heap.
+        self._next_probe = [0] * n
+        self._probe_heap: List[tuple] = []
         # Telemetry.
         self.marks_down = 0
         self.marks_up = 0
@@ -84,20 +116,61 @@ class HealthMonitor:
         self.failovers = 0
         self.redispatched = 0
 
+    @property
+    def idle(self) -> bool:
+        """True when observation is provably a no-op (hooked mode): no
+        node is down, stall-suspect, or carrying unobserved dispatches."""
+        return self.hooked and not self._active
+
+    def on_dispatch(self, node_id: int) -> None:
+        """Hooked-mode notification: one request was dispatched to
+        ``node_id`` (call after incrementing the view's counter).
+
+        Activates the node, resyncing its completion checkpoint to the
+        value the skipped full scans would have left — reads at window
+        barriers observe the same quiescent state a per-window scan
+        would have, so the checkpoint is exact, not approximate.
+        """
+        if node_id not in self._active:
+            self._active.add(node_id)
+            self._last_completed[node_id] = self.views[node_id].completed()
+
+    def fast_forward(self, n_windows: int) -> None:
+        """Advance the observation clock over provably-idle windows.
+
+        Only valid when :attr:`idle` holds *and no dispatch happens in
+        the skipped span*: each skipped :meth:`observe_window` would
+        then scan an empty active set, reducing to a window-index
+        increment. The adaptive-lookahead stride driver uses this to
+        coalesce windows without changing a single decision.
+        """
+        if not self.hooked:
+            raise RuntimeError("fast_forward requires dispatch-hooked mode")
+        if self._active:
+            raise RuntimeError(
+                "fast_forward with active nodes would skip observations")
+        self._window_index += n_windows
+
     def observe_window(self) -> List[int]:
         """Digest one window of completions; returns newly-down nodes.
 
         Call at each lockstep window start, before dispatching the
         window's arrivals.
         """
+        self._window_index += 1
+        if self.hooked:
+            if not self._active:
+                return []
+            candidates = sorted(self._active)
+        else:
+            candidates = range(len(self.views))
         newly_down: List[int] = []
         policy = self.policy
-        self._window_index += 1
-        for i, view in enumerate(self.views):
+        for i in candidates:
+            view = self.views[i]
             completed = view.completed()
             delta = completed - self._last_completed[i]
             self._last_completed[i] = completed
-            self._probed[i] = False
             if self.down[i]:
                 # Responsive windows accumulate (probes are sparse, so
                 # consecutive-window recovery would never trigger).
@@ -116,10 +189,35 @@ class HealthMonitor:
                         self.down[i] = True
                         self.marks_down += 1
                         self._responsive[i] = 0
+                        self._schedule_probe(i, self._window_index)
                         newly_down.append(i)
                 else:
                     self._stalled[i] = 0
+                    if (self.hooked
+                            and view.outstanding()
+                            < policy.min_outstanding):
+                        # Provably boring until the next dispatch: it
+                        # cannot stall below min_outstanding, and
+                        # outstanding only grows via on_dispatch.
+                        self._active.discard(i)
         return newly_down
+
+    # -- probe scheduling (lazy; no per-window resets) ------------------ #
+
+    def _schedule_probe(self, node_id: int, eligible_window: int) -> None:
+        self._next_probe[node_id] = eligible_window
+        heapq.heappush(self._probe_heap, (eligible_window, node_id))
+
+    def _probe_pending(self) -> bool:
+        """O(1): could any down node be probed this window? Stale heap
+        entries (marked-up or rescheduled nodes) are dropped lazily."""
+        heap = self._probe_heap
+        while heap:
+            window, nid = heap[0]
+            if self.down[nid] and self._next_probe[nid] == window:
+                return window <= self._window_index
+            heapq.heappop(heap)
+        return False
 
     def route(self, node_id: int) -> int:
         """Final destination for a dispatch the policy chose.
@@ -130,10 +228,12 @@ class HealthMonitor:
         """
         if not self.down[node_id]:
             return node_id
-        if (not self._probed[node_id]
-                and self._window_index % self.policy.probe_every_windows
-                == 0):
-            self._probed[node_id] = True
+        wi = self._window_index
+        if (wi % self.policy.probe_every_windows == 0
+                and wi >= self._next_probe[node_id]
+                and self._probe_pending()):
+            self._schedule_probe(node_id,
+                                 wi + self.policy.probe_every_windows)
             self.probes += 1
             return node_id
         self.failovers += 1

@@ -18,7 +18,9 @@ from __future__ import annotations
 # every policy draws from is built by FleetSystem, seeded via
 # repro.sim.rng.derive_stream(config.seed, "fleet", "lb").
 import random
-from typing import Dict, List, Type
+from typing import Dict, List, Optional, Type
+
+import numpy as np
 
 
 class NodeView:
@@ -58,12 +60,56 @@ class NodeView:
         running fast serves immediately, while a slow node must ramp
         through DVFS transitions first.
         """
-        processor = self.system.processor
-        pstates = processor.pstates
-        f0 = pstates.p0.freq_hz
-        total = sum(pstates.freq_of(core.pstate_index)
-                    for core in processor.cores)
-        return total / (len(processor.cores) * f0)
+        return node_relative_speed(self.system.processor)
+
+
+def node_relative_speed(processor) -> float:
+    """:meth:`NodeView.relative_speed` as a free function, so a sharded
+    worker computes the identical float from its local processor and
+    reports it to the master's :class:`RemoteNodeView`."""
+    pstates = processor.pstates
+    f0 = pstates.p0.freq_hz
+    total = sum(pstates.freq_of(core.pstate_index)
+                for core in processor.cores)
+    return total / (len(processor.cores) * f0)
+
+
+class RemoteNodeView:
+    """A :class:`NodeView` fed from worker-reported barrier snapshots.
+
+    The sharded master holds no ``ServerSystem``s; what the balancer,
+    health monitor, and budget arbiter observe at each window barrier is
+    whatever the owning worker reported at the previous barrier — the
+    same values the serial fleet would read live, because node state
+    only changes while a window runs. Counters live in shared numpy
+    arrays (one slot per node) so a shard's report is applied as one
+    vectorized slice assignment.
+    """
+
+    __slots__ = ("node_id", "n_cores", "dispatched",
+                 "_completed", "_gave_up", "_speed")
+
+    def __init__(self, node_id: int, n_cores: int,
+                 completed: np.ndarray, gave_up: np.ndarray,
+                 speed: np.ndarray):
+        self.node_id = node_id
+        self.n_cores = n_cores
+        #: Requests this balancer has sent to the node so far (the
+        #: master is the balancer, so this side is exact, not reported).
+        self.dispatched = 0
+        self._completed = completed
+        self._gave_up = gave_up
+        self._speed = speed
+
+    def completed(self) -> int:
+        return int(self._completed[self.node_id])
+
+    def outstanding(self) -> int:
+        return (self.dispatched - int(self._completed[self.node_id])
+                - int(self._gave_up[self.node_id]))
+
+    def relative_speed(self) -> float:
+        return float(self._speed[self.node_id])
 
 
 class DispatchPolicy:
@@ -75,6 +121,10 @@ class DispatchPolicy:
     #: fed to the nodes up front, which is what makes a 1-node fleet
     #: bit-identical to a standalone run.
     feedback_free = False
+    #: True when :meth:`choose` reads :meth:`NodeView.relative_speed` —
+    #: the sharded driver only ships per-node DVFS telemetry across the
+    #: process boundary for policies that consume it.
+    uses_speed = False
 
     def bind(self, views: List[NodeView], rng: random.Random) -> None:
         self.views = views
@@ -82,6 +132,19 @@ class DispatchPolicy:
 
     def choose(self, created_ns: int, session_id: int) -> int:
         raise NotImplementedError
+
+    def choose_batch(self, times_ns: np.ndarray,
+                     sessions: np.ndarray) -> Optional[np.ndarray]:
+        """Vectorized dispatch of a whole arrival schedule, or None.
+
+        Only meaningful for feedback-free policies (a feedback policy's
+        decisions depend on state that evolves between arrivals). The
+        default returns None: callers fall back to per-request
+        :meth:`choose`. Implementations must be bit-identical to the
+        ``choose`` loop and must leave any internal state consistent
+        with having dispatched the whole batch.
+        """
+        return None
 
 
 class RoundRobinPolicy(DispatchPolicy):
@@ -107,6 +170,26 @@ class RoundRobinPolicy(DispatchPolicy):
             self._session_node[session_id] = node
             self._next = (self._next + 1) % len(self.views)
         return node
+
+    def choose_batch(self, times_ns: np.ndarray,
+                     sessions: np.ndarray) -> Optional[np.ndarray]:
+        """The whole schedule at once: sessions ranked by first
+        appearance, rank mod n — bit-identical to the ``choose`` loop
+        (enforced by test) without the per-request Python round trip."""
+        if self._session_node or self._next:
+            return None  # mid-stream state: fall back to the scalar path
+        n = len(self.views)
+        uniq, first_idx, inverse = np.unique(
+            sessions, return_index=True, return_inverse=True)
+        # np.unique sorts by session id; appearance rank is the inverse
+        # permutation of the first-occurrence order.
+        rank = np.argsort(np.argsort(first_idx, kind="stable"),
+                          kind="stable")
+        node_of_uniq = rank % n
+        self._session_node = {int(s): int(v)
+                              for s, v in zip(uniq, node_of_uniq)}
+        self._next = int(len(uniq) % n)
+        return node_of_uniq[inverse]
 
 
 class LeastOutstandingPolicy(DispatchPolicy):
@@ -152,6 +235,7 @@ class PowerAwarePolicy(DispatchPolicy):
     """
 
     name = "power-aware"
+    uses_speed = True
 
     def __init__(self, speed_bands: int = 8):
         if speed_bands < 1:

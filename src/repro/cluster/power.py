@@ -6,32 +6,71 @@ guaranteed floor so an idle node can always ramp back up), then enforces
 each share as a per-node P-state cap via
 :meth:`repro.cpu.topology.Processor.set_pstate_cap`.
 
-The coordinator is deliberately *observation-only* on the measurement
-path: it reads each core's lazily-flushed ``busy_ns`` counter raw, never
-forcing an accounting flush, so enabling the budget does not perturb a
-node's energy-meter accrual points (float accumulation order is part of
-the determinism contract).
+The budget math lives in :class:`BudgetArbiter`, which is deliberately
+*pure*: it sees only power ladders and busy-time integers, never a
+simulator or a processor. That split is what lets the sharded fleet
+driver (``repro.cluster.sharded``) run the identical arbitration in the
+master process from worker-reported busy counters while the caps are
+applied remotely — bit-identical to the in-process coordinator, because
+the arithmetic is the same code operating on the same integers.
+
+:class:`PowerBudgetCoordinator` wraps an arbiter around a list of live
+``ServerSystem``-like objects (the serial fleet path and the unit
+tests). It is observation-only on the measurement path: it reads each
+core's lazily-flushed ``busy_ns`` counter raw, never forcing an
+accounting flush, so enabling the budget does not perturb a node's
+energy-meter accrual points (float accumulation order is part of the
+determinism contract).
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.units import MS
 
 
-class PowerBudgetCoordinator:
-    """Redistributes ``budget_w`` across nodes as P-state caps."""
+def power_ladder(processor) -> List[float]:
+    """Worst-case node watts at each P-state index (all cores busy).
 
-    def __init__(self, systems: Sequence, budget_w: float,
-                 period_ns: int = 10 * MS, floor_frac: float = 0.5):
+    Index 0 (fastest) draws the most; the ladder is what maps a watt
+    share to the fastest affordable cap. Pure read of the power model —
+    safe to compute in a worker process and ship to the arbiter.
+    """
+    model = processor.power_model
+    cc0 = processor.cstates.cc0
+    ladder = []
+    for i in range(len(processor.pstates)):
+        pstate = processor.pstates[i]
+        ladder.append(processor.n_cores
+                      * model.core_power(True, pstate, cc0)
+                      + model.uncore_power(pstate))
+    return ladder
+
+
+def busy_ns(system) -> int:
+    """Sum of per-core busy residency, read without flushing."""
+    return sum(core.busy_ns for core in system.processor.cores)
+
+
+class BudgetArbiter:
+    """The pure budget arithmetic: ladders + busy deltas -> P-state caps.
+
+    Holds no reference to simulators or processors; every decision is a
+    deterministic function of the constructor arguments and the busy
+    counters passed to :meth:`maybe_rebalance`.
+    """
+
+    def __init__(self, ladders: Sequence[Sequence[float]], budget_w: float,
+                 period_ns: int = 10 * MS, floor_frac: float = 0.5,
+                 initial_busy: Optional[Sequence[int]] = None):
         if budget_w <= 0:
             raise ValueError("budget must be positive")
         if period_ns <= 0:
             raise ValueError("period must be positive")
         if not 0.0 <= floor_frac <= 1.0:
             raise ValueError("floor_frac must be in [0, 1]")
-        self.systems = list(systems)
+        self.ladders = [list(ladder) for ladder in ladders]
         self.budget_w = float(budget_w)
         self.period_ns = int(period_ns)
         #: Fraction of the budget split evenly regardless of load; the
@@ -40,37 +79,16 @@ class PowerBudgetCoordinator:
         self.floor_frac = float(floor_frac)
         self.rebalances = 0
         self._last_check_ns = 0
-        self._last_busy = [self._busy_ns(s) for s in self.systems]
-        self._ladders = [self._power_ladder(s.processor)
-                         for s in self.systems]
+        self._last_busy = ([0] * len(self.ladders) if initial_busy is None
+                           else [int(b) for b in initial_busy])
 
-    # ----------------------------------------------------------------- #
-
-    @staticmethod
-    def _busy_ns(system) -> int:
-        """Sum of per-core busy residency, read without flushing."""
-        return sum(core.busy_ns for core in system.processor.cores)
-
-    @staticmethod
-    def _power_ladder(processor) -> List[float]:
-        """Worst-case node watts at each P-state index (all cores busy).
-
-        Index 0 (fastest) draws the most; the ladder is what maps a watt
-        share to the fastest affordable cap.
-        """
-        model = processor.power_model
-        cc0 = processor.cstates.cc0
-        ladder = []
-        for i in range(len(processor.pstates)):
-            pstate = processor.pstates[i]
-            ladder.append(processor.n_cores
-                          * model.core_power(True, pstate, cc0)
-                          + model.uncore_power(pstate))
-        return ladder
+    @property
+    def n_nodes(self) -> int:
+        return len(self.ladders)
 
     def cap_for_share(self, node_index: int, share_w: float) -> int:
         """Fastest P-state index whose worst-case draw fits ``share_w``."""
-        ladder = self._ladders[node_index]
+        ladder = self.ladders[node_index]
         for i, watts in enumerate(ladder):
             if watts <= share_w:
                 return i
@@ -78,7 +96,7 @@ class PowerBudgetCoordinator:
 
     def shares(self, loads: Sequence[int]) -> List[float]:
         """Per-node watt shares for the given busy-time deltas."""
-        n = len(self.systems)
+        n = self.n_nodes
         floor = self.budget_w * self.floor_frac / n
         spare = self.budget_w * (1.0 - self.floor_frac)
         total = sum(loads)
@@ -86,22 +104,89 @@ class PowerBudgetCoordinator:
             return [floor + spare / n] * n
         return [floor + spare * load / total for load in loads]
 
+    def next_fire_ns(self) -> int:
+        """Earliest instant :meth:`maybe_rebalance` would fire."""
+        return self._last_check_ns + self.period_ns
+
+    def next_fire_barrier(self, now_ns: int, window_ns: int) -> int:
+        """The first lockstep-window start at/after ``now_ns`` where a
+        rebalance fires.
+
+        The fleet drivers call :meth:`maybe_rebalance` only at window
+        starts (multiples of ``window_ns``), so an adaptive-lookahead
+        stride may run past intermediate window boundaries but must
+        never run past this barrier — skipping it would skip a cap
+        redistribution the windowed loop would have applied.
+        """
+        fire = self.next_fire_ns()
+        barrier = -(-fire // window_ns) * window_ns
+        return barrier if barrier > now_ns else now_ns
+
+    def maybe_rebalance(self, now_ns: int,
+                        busy: Sequence[int]) -> Optional[List[int]]:
+        """Caps to apply if a period has elapsed, else None.
+
+        ``busy`` is each node's cumulative busy time at ``now_ns``; the
+        arbiter differences it against the previous firing's snapshot.
+        """
+        if now_ns - self._last_check_ns < self.period_ns:
+            return None
+        self._last_check_ns = now_ns
+        busy = [int(b) for b in busy]
+        loads = [b - prev for b, prev in zip(busy, self._last_busy)]
+        self._last_busy = busy
+        self.rebalances += 1
+        return [self.cap_for_share(i, share)
+                for i, share in enumerate(self.shares(loads))]
+
+
+class PowerBudgetCoordinator:
+    """Redistributes ``budget_w`` across live systems as P-state caps."""
+
+    def __init__(self, systems: Sequence, budget_w: float,
+                 period_ns: int = 10 * MS, floor_frac: float = 0.5):
+        self.systems = list(systems)
+        self.arbiter = BudgetArbiter(
+            [power_ladder(s.processor) for s in self.systems],
+            budget_w, period_ns=period_ns, floor_frac=floor_frac,
+            initial_busy=[busy_ns(s) for s in self.systems])
+
+    # Arbiter pass-throughs (the coordinator's historical public API).
+
+    @property
+    def budget_w(self) -> float:
+        return self.arbiter.budget_w
+
+    @property
+    def period_ns(self) -> int:
+        return self.arbiter.period_ns
+
+    @property
+    def floor_frac(self) -> float:
+        return self.arbiter.floor_frac
+
+    @property
+    def rebalances(self) -> int:
+        return self.arbiter.rebalances
+
+    def cap_for_share(self, node_index: int, share_w: float) -> int:
+        return self.arbiter.cap_for_share(node_index, share_w)
+
+    def shares(self, loads: Sequence[int]) -> List[float]:
+        return self.arbiter.shares(loads)
+
     def maybe_rebalance(self, now_ns: int) -> bool:
         """Redistribute if a period has elapsed; returns True if it did.
 
         Called at lockstep-window boundaries, so the effective period is
         ``period_ns`` rounded up to a whole number of windows.
         """
-        if now_ns - self._last_check_ns < self.period_ns:
+        caps = self.arbiter.maybe_rebalance(
+            now_ns, [busy_ns(s) for s in self.systems])
+        if caps is None:
             return False
-        self._last_check_ns = now_ns
-        busy = [self._busy_ns(s) for s in self.systems]
-        loads = [b - prev for b, prev in zip(busy, self._last_busy)]
-        self._last_busy = busy
-        for i, (system, share) in enumerate(zip(self.systems,
-                                                self.shares(loads))):
-            system.processor.set_pstate_cap(self.cap_for_share(i, share))
-        self.rebalances += 1
+        for system, cap in zip(self.systems, caps):
+            system.processor.set_pstate_cap(cap)
         return True
 
     def release(self) -> None:

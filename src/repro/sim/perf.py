@@ -101,3 +101,55 @@ class PerfSnapshot:
                 f"heap peak {self.heap_peak:,}, "
                 f"cancel ratio {self.cancel_ratio:.1%}, "
                 f"recycle ratio {self.recycle_ratio:.1%}")
+
+
+@dataclass
+class LockstepPerf:
+    """Counters of one fleet lockstep drive (``repro.cluster``).
+
+    ``windows`` counts *base* windows (duration / LB wire latency,
+    rounded up) — invariant across stride coalescing and shard counts,
+    so it is safe to compare across execution modes. ``strides`` counts
+    the actual barrier-to-barrier spans executed: equal to ``windows``
+    with adaptive lookahead off, smaller when idle windows coalesce.
+    ``shards``/``wall_s`` describe the execution, not the model — parity
+    tests must not compare them.
+    """
+
+    #: Base lockstep windows the drive covered.
+    windows: int = 0
+    #: Barrier-to-barrier spans actually executed (<= windows).
+    strides: int = 0
+    #: Longest single stride, in base windows.
+    max_stride: int = 0
+    #: Worker processes the nodes were partitioned over (1 = in-process).
+    shards: int = 1
+    #: Wall-clock seconds of the whole fleet run.
+    wall_s: float = 0.0
+
+    @property
+    def coalesce_ratio(self) -> float:
+        """Base windows per executed stride (1.0 = no coalescing)."""
+        if self.strides <= 0:
+            return 1.0
+        return self.windows / self.strides
+
+    def as_dict(self) -> dict:
+        d = asdict(self)
+        d["coalesce_ratio"] = round(self.coalesce_ratio, 3)
+        return d
+
+    def register_into(self, registry, subsystem: str = "fleet") -> None:
+        """Export the drive counters as gauges of a telemetry registry."""
+        gauges = [
+            ("lockstep_strides", "Barrier spans executed",
+             self.strides),
+            ("lockstep_max_stride_windows",
+             "Longest stride in base windows", self.max_stride),
+            ("lockstep_shards", "Worker processes the fleet ran across",
+             self.shards),
+            ("lockstep_coalesce_ratio", "Base windows per executed stride",
+             self.coalesce_ratio),
+        ]
+        for name, help_text, value in gauges:
+            registry.gauge(name, help_text, subsystem=subsystem).set(value)

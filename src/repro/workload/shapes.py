@@ -149,6 +149,26 @@ class ScaledLoad(LoadShape):
         return self.base.mean_rps() * self.factor
 
 
+def diurnal(duration_ns: int, period_ns: int, duty: float,
+            peak_rps: float, trough_rps: float) -> PiecewiseLoad:
+    """An idle-heavy day/night trace: each ``period_ns`` opens with a
+    ``duty``-fraction burst at ``peak_rps``, then idles at
+    ``trough_rps`` — the datacenter utilization pattern where adaptive
+    lockstep lookahead pays off (most windows carry nothing)."""
+    if not 0.0 < duty < 1.0:
+        raise ValueError("duty must be in (0, 1)")
+    if period_ns <= 0 or duration_ns <= 0:
+        raise ValueError("period and duration must be positive")
+    segments: List[Tuple[int, LoadShape]] = []
+    burst_ns = int(period_ns * duty)
+    t = 0
+    while t < duration_ns:
+        segments.append((t, ConstantLoad(peak_rps)))
+        segments.append((t + burst_ns, ConstantLoad(trough_rps)))
+        t += period_ns
+    return PiecewiseLoad(segments)
+
+
 def generate_arrivals(shape: LoadShape, duration_ns: int,
                       rng: np.random.Generator) -> np.ndarray:
     """Arrival times (sorted int64 ns) over [0, duration) by thinning.
