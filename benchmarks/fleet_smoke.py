@@ -11,11 +11,16 @@ and records into ``BENCH_fleet.json``:
   ``run_until`` loop re-enters each node's event kernel once per
   LB-wire window, so some overhead is structural — the acceptance
   budget is < 2x (``--assert-overhead 2.0`` gates it in CI).
+* **timeline overhead**: the same fleet re-run with windowed timeline
+  sampling (``repro.obs.timeline``, 1 ms interval) over the unsampled
+  fleet wall time. ``--assert-timeline-overhead PCT`` gates it
+  (CI budget: 15).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/fleet_smoke.py [--out PATH]
         [--nodes N] [--duration-ms MS] [--assert-overhead RATIO]
+        [--assert-timeline-overhead PCT]
 """
 
 from __future__ import annotations
@@ -29,11 +34,13 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.cluster import FleetConfig, FleetSystem  # noqa: E402
+from repro.obs.timeline import TimelineConfig  # noqa: E402
 from repro.system import ServerConfig, ServerSystem  # noqa: E402
 from repro.units import MS  # noqa: E402
 
 
-def _fleet_config(n_nodes: int, max_stride: int = 1) -> FleetConfig:
+def _fleet_config(n_nodes: int, max_stride: int = 1,
+                  timeline: bool = False) -> FleetConfig:
     node = ServerConfig(app="memcached", load_level="medium",
                         freq_governor="nmap", n_cores=2)
     # The headline numbers pin max_stride_windows=1: the literal
@@ -42,7 +49,9 @@ def _fleet_config(n_nodes: int, max_stride: int = 1) -> FleetConfig:
     # separately (and gated in benchmarks/fleet_scale.py).
     return FleetConfig(node=node, n_nodes=n_nodes, policy="round-robin",
                        n_sessions=24, session_skew=1.1, seed=2,
-                       max_stride_windows=max_stride)
+                       max_stride_windows=max_stride,
+                       timeline=TimelineConfig(interval_ns=1 * MS)
+                       if timeline else None)
 
 
 def _time_fleet(config: FleetConfig, duration_ns: int):
@@ -81,6 +90,11 @@ def main(argv=None) -> int:
                         metavar="RATIO",
                         help="fail if fleet wall time exceeds RATIO x "
                              "the summed standalone wall time")
+    parser.add_argument("--assert-timeline-overhead", type=float,
+                        default=None, metavar="PCT",
+                        help="fail if the timeline-sampled fleet run is "
+                             "more than PCT%% slower than the unsampled "
+                             "one (CI budget: 15)")
     parser.add_argument("--out", type=Path,
                         default=Path(__file__).resolve().parent.parent
                         / "BENCH_fleet.json")
@@ -106,6 +120,12 @@ def main(argv=None) -> int:
         _time_fleet(_fleet_config(args.nodes, max_stride=64),
                     duration_ns)[0]
         for _ in range(args.passes))
+    timeline_wall = min(
+        _time_fleet(_fleet_config(args.nodes, timeline=True),
+                    duration_ns)[0]
+        for _ in range(args.passes))
+    timeline_overhead_pct = (100.0 * (timeline_wall / fleet_wall - 1.0)
+                             if fleet_wall > 0 else 0.0)
 
     record = {
         "benchmark": "fleet lockstep co-simulation smoke",
@@ -131,6 +151,8 @@ def main(argv=None) -> int:
         "adaptive_stride_wall_s": round(adaptive_wall, 4),
         "adaptive_stride_speedup_x": round(fleet_wall / adaptive_wall, 3)
         if adaptive_wall > 0 else None,
+        "timeline_wall_s": round(timeline_wall, 4),
+        "timeline_overhead_pct": round(timeline_overhead_pct, 2),
     }
     args.out.write_text(json.dumps(record, indent=2) + "\n")
     print(f"fleet: {args.nodes} nodes x {args.duration_ms} ms in "
@@ -141,6 +163,12 @@ def main(argv=None) -> int:
     if args.assert_overhead is not None and overhead > args.assert_overhead:
         print(f"FAIL: lockstep overhead {overhead:.2f}x exceeds the "
               f"{args.assert_overhead:.2f}x budget", file=sys.stderr)
+        return 1
+    if args.assert_timeline_overhead is not None \
+            and timeline_overhead_pct > args.assert_timeline_overhead:
+        print(f"FAIL: timeline overhead {timeline_overhead_pct:.1f}% "
+              f"exceeds the {args.assert_timeline_overhead:.1f}% budget",
+              file=sys.stderr)
         return 1
     return 0
 

@@ -22,11 +22,18 @@ runtime invariant checker of :mod:`repro.analysis.sanitize` — and
 records its slowdown. ``--assert-sanitize-overhead PCT`` gates it
 (the documented budget is <2x, i.e. 100%).
 
+A fourth measurement leaves the microbenchmark and times one small
+*server* run with and without windowed timeline sampling
+(``repro.obs.timeline``, 1 ms interval) — the cost of splitting
+``run_until`` at sample barriers plus the per-window row reads.
+``--assert-timeline-overhead PCT`` gates it (CI budget: 15).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py [--out PATH]
         [--rounds N] [--assert-overhead PCT]
         [--assert-sanitize-overhead PCT]
+        [--assert-timeline-overhead PCT]
 """
 
 from __future__ import annotations
@@ -88,6 +95,22 @@ def _run_mix(n_rounds: int, recorder: TraceRecorder = None,
             for name, _labels, _kind, instrument in registry.items()}
 
 
+def _time_server(timeline: bool, duration_ms: int = 100) -> float:
+    """Wall seconds of one small server run, timeline on or off."""
+    from repro.obs.timeline import TimelineConfig
+    from repro.system import ServerConfig, ServerSystem
+    from repro.units import MS
+
+    config = ServerConfig(app="memcached", load_level="medium",
+                          freq_governor="nmap", n_cores=2,
+                          timeline=TimelineConfig(interval_ns=1 * MS)
+                          if timeline else None)
+    system = ServerSystem(config)
+    t0 = time.perf_counter()
+    system.run(duration_ms * MS)
+    return time.perf_counter() - t0
+
+
 def _best(passes: list) -> dict:
     return max(passes, key=lambda p: p["sim_events_per_sec"])
 
@@ -107,6 +130,11 @@ def main(argv=None) -> int:
                         help="fail if the sanitized pass is more than "
                              "PCT%% slower than the baseline (budget: "
                              "100, i.e. <2x)")
+    parser.add_argument("--assert-timeline-overhead", type=float,
+                        default=None, metavar="PCT",
+                        help="fail if the timeline-sampled server run is "
+                             "more than PCT%% slower than the unsampled "
+                             "one (CI budget: 15)")
     parser.add_argument("--out", type=Path,
                         default=Path(__file__).resolve().parent.parent
                         / "BENCH_eventloop.json",
@@ -130,6 +158,11 @@ def main(argv=None) -> int:
                                      / base["sim_wall_seconds"] - 1.0) \
         if base["sim_wall_seconds"] > 0 else 0.0
 
+    server_off = min(_time_server(False) for _ in range(args.passes))
+    server_on = min(_time_server(True) for _ in range(args.passes))
+    timeline_overhead_pct = (100.0 * (server_on / server_off - 1.0)
+                             if server_off > 0 else 0.0)
+
     record = {
         "benchmark": "eventloop schedule/fire/cancel mix",
         "python": sys.version.split()[0],
@@ -140,6 +173,7 @@ def main(argv=None) -> int:
                                       for p in base_passes],
         "tracing_disabled_overhead_pct": round(overhead_pct, 2),
         "sanitizer_overhead_pct": round(sanitize_overhead_pct, 2),
+        "timeline_overhead_pct": round(timeline_overhead_pct, 2),
     }
     record["best"]["sim_events_per_sec"] = round(
         base["sim_events_per_sec"])
@@ -147,7 +181,8 @@ def main(argv=None) -> int:
     print(f"{record['best']['sim_events_per_sec']:,} events/s "
           f"(best of {args.passes}); disabled-tracing overhead "
           f"{overhead_pct:+.1f}%; sanitizer overhead "
-          f"{sanitize_overhead_pct:+.1f}% -> {args.out}")
+          f"{sanitize_overhead_pct:+.1f}%; timeline overhead "
+          f"{timeline_overhead_pct:+.1f}% -> {args.out}")
 
     if args.assert_overhead is not None \
             and overhead_pct > args.assert_overhead:
@@ -159,6 +194,12 @@ def main(argv=None) -> int:
             and sanitize_overhead_pct > args.assert_sanitize_overhead:
         print(f"FAIL: sanitizer overhead {sanitize_overhead_pct:.1f}% "
               f"exceeds the {args.assert_sanitize_overhead:.1f}% budget",
+              file=sys.stderr)
+        return 1
+    if args.assert_timeline_overhead is not None \
+            and timeline_overhead_pct > args.assert_timeline_overhead:
+        print(f"FAIL: timeline overhead {timeline_overhead_pct:.1f}% "
+              f"exceeds the {args.assert_timeline_overhead:.1f}% budget",
               file=sys.stderr)
         return 1
     return 0

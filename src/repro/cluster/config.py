@@ -8,6 +8,7 @@ from typing import Dict, Optional
 
 from repro.cluster.health import HealthPolicy
 from repro.faults.plan import FaultPlan
+from repro.obs.timeline import TimelineConfig
 from repro.sim.rng import derive_stream
 from repro.system import ServerConfig
 from repro.units import MS
@@ -78,6 +79,13 @@ class FleetConfig:
     #: window-by-window loop literally; results are bit-identical for
     #: every value — strides only skip provably-idle barrier work.
     max_stride_windows: int = 64
+    #: Fleet-level windowed time-series sampling + monitors + flight
+    #: recorder (``repro.obs.timeline``). Samples are taken at lockstep
+    #: barriers (the interval is rounded up to whole windows), master-
+    #: side for monitors/ring, worker-side for the rows — so sharded and
+    #: in-process timelines are bit-identical. None samples nothing and
+    #: keeps runs bit-identical to pre-timeline behaviour.
+    timeline: Optional[TimelineConfig] = None
     seed: int = 0
 
     def with_overrides(self, **kwargs) -> "FleetConfig":
@@ -93,7 +101,10 @@ class FleetConfig:
         if not 0 <= node_id < self.n_nodes:
             raise ValueError(f"node_id {node_id} out of range "
                              f"[0, {self.n_nodes})")
-        overrides = dict(seed=self.node_seed(node_id), arrival_seed=None)
+        # Nodes never sample their own timelines in a fleet: sampling is
+        # fleet-level (lockstep-barrier cadence, driven by the master).
+        overrides = dict(seed=self.node_seed(node_id), arrival_seed=None,
+                         timeline=None)
         plan = self.node_fault_plans.get(node_id)
         if plan is not None:
             overrides["fault_plan"] = plan

@@ -50,7 +50,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.analysis.sanitize import check_dispatch_bounds, check_stride_plan
+from repro.analysis.sanitize import (SanitizerError, check_dispatch_bounds,
+                                     check_stride_plan)
 from repro.cluster.config import FleetConfig
 from repro.cluster.health import HealthMonitor
 from repro.cluster.lb import NodeView, make_policy
@@ -60,6 +61,8 @@ from repro.metrics.fleet import imbalance_ratio, node_p99s_ns
 from repro.metrics.latency import LatencyStats
 from repro.metrics.slo import SloResult, check_slo
 from repro.obs.registry import TelemetryRegistry
+from repro.obs.timeline import (TimelineDriver, TimelineResult,
+                                TimelineSampler)
 from repro.sim.perf import LockstepPerf
 from repro.sim.rng import derive_stream
 from repro.system import RunResult, ServerSystem
@@ -94,6 +97,10 @@ class FleetResult:
     #: detail: ``shards``/``wall_s`` legitimately differ between
     #: bit-identical runs, so parity comparisons must skip this field.
     perf: Optional[LockstepPerf] = None
+    #: Windowed time-series of the run (``repro.obs.timeline``); None
+    #: when ``config.timeline`` is unset. Bit-identical across shard
+    #: counts and stride settings (enforced by test).
+    timeline: Optional[TimelineResult] = None
 
     def latency_stats(self) -> LatencyStats:
         """Percentile summary over the whole fleet's requests."""
@@ -151,15 +158,18 @@ def drive_lockstep(config: FleetConfig, duration_ns: int,
                    times: List[int], sessions: np.ndarray, policy,
                    monitor: Optional[HealthMonitor],
                    arbiter: Optional[BudgetArbiter],
-                   backend) -> LockstepPerf:
+                   backend,
+                   timeline: Optional[TimelineDriver] = None
+                   ) -> LockstepPerf:
     """Advance a node backend through all lockstep windows of one run.
 
     Owns every fleet-level decision — dispatch, health observation,
-    budget arbitration, stride coalescing — so any two backends given
-    the same config make the same decisions in the same order. The
-    backend only feeds arrivals, applies caps, and runs nodes to
-    barriers (``repro.cluster.sharded`` ships those over pipes; the
-    in-process backend calls straight into the nodes).
+    budget arbitration, stride coalescing, timeline sampling — so any
+    two backends given the same config make the same decisions in the
+    same order. The backend only feeds arrivals, applies caps, runs
+    nodes to barriers, and reports sample rows
+    (``repro.cluster.sharded`` ships those over pipes; the in-process
+    backend calls straight into the nodes).
     """
     window_ns = config.lb_wire_latency_ns
     n_nodes = config.n_nodes
@@ -181,7 +191,7 @@ def drive_lockstep(config: FleetConfig, duration_ns: int,
         backend.prefeed(precompute_feedback_free(
             policy, views, times, sessions, n_nodes))
         backend.start_power()
-        if arbiter is None and max_stride > 1:
+        if arbiter is None and max_stride > 1 and timeline is None:
             # Nothing ever happens at a barrier: one stride to the end.
             n_windows = -(-duration_ns // window_ns)
             backend.run_span(0, duration_ns, n_windows, None, None,
@@ -240,6 +250,12 @@ def drive_lockstep(config: FleetConfig, duration_ns: int,
         k = max_stride
         barrier = None
         if k > 1:
+            if timeline is not None:
+                # Strides may never skip a sample barrier: the sample
+                # grid is a multiple of the window, so capping here
+                # makes the sampled rows invariant across stride
+                # settings (and shard counts).
+                k = min(k, (timeline.next_grid_ns(t) - t) // window_ns)
             if arbiter is not None:
                 barrier = arbiter.next_fire_barrier(t, window_ns)
                 k = min(k, (barrier - t) // window_ns)
@@ -262,14 +278,23 @@ def drive_lockstep(config: FleetConfig, duration_ns: int,
                     times[idx] if (not prefed and idx < n_times) else None,
                     barrier,
                     monitor.idle if monitor is not None else True)
-        backend.run_span(
+        want_timeline = timeline is not None and timeline.due(run_to)
+        rows = backend.run_span(
             t, run_to, n_windows, batches, caps, want_state, want_speed,
-            arbiter is not None and run_to >= arbiter.next_fire_ns())
+            arbiter is not None and run_to >= arbiter.next_fire_ns(),
+            want_timeline)
         perf.windows += n_windows
         perf.strides += 1
         if n_windows > perf.max_stride:
             perf.max_stride = n_windows
         t = run_to
+        if want_timeline:
+            # Fleet-level series ship as cumulative totals; the driver
+            # converts to per-window deltas.
+            fleet_totals = (sum(view.dispatched for view in views),
+                            perf.windows, perf.strides)
+            if timeline.on_sample(run_to, rows, fleet_totals):
+                break  # an abort=True monitor tripped: truncate here
     return perf
 
 
@@ -277,7 +302,9 @@ def build_fleet_result(config: FleetConfig, duration_ns: int,
                        node_results: List[RunResult],
                        dispatched: Sequence[int], perf: LockstepPerf,
                        rebalances: int,
-                       monitor: Optional[HealthMonitor]) -> FleetResult:
+                       monitor: Optional[HealthMonitor],
+                       timeline: Optional[TimelineResult] = None
+                       ) -> FleetResult:
     """Assemble a :class:`FleetResult` (shared by serial and sharded)."""
     n_windows = perf.windows
     latencies = (np.concatenate([r.latencies_ns for r in node_results])
@@ -304,6 +331,8 @@ def build_fleet_result(config: FleetConfig, duration_ns: int,
     perf.register_into(telemetry)
     if monitor is not None:
         monitor.register_into(telemetry)
+    if timeline is not None:
+        timeline.register_into(telemetry)
 
     return FleetResult(
         config=config,
@@ -319,7 +348,8 @@ def build_fleet_result(config: FleetConfig, duration_ns: int,
         telemetry=telemetry,
         lockstep_windows=n_windows,
         rebalances=rebalances,
-        perf=perf)
+        perf=perf,
+        timeline=timeline)
 
 
 def validate_fleet_config(config: FleetConfig) -> None:
@@ -387,6 +417,32 @@ def make_fleet_policy(config: FleetConfig, views):
     return policy
 
 
+def fleet_fault_windows(config: FleetConfig):
+    """Every node's scheduled fault windows as ``(start, end, kind,
+    node)`` tuples — what the timeline driver needs for crash-triggered
+    flight dumps and active-fault dump annotations."""
+    out = []
+    for nid in range(config.n_nodes):
+        plan = config.node_fault_plans.get(nid, config.node.fault_plan)
+        if plan is not None:
+            out.extend((w.start_ns, w.end_ns, w.kind, nid)
+                       for w in plan.windows)
+    return out
+
+
+def make_timeline_driver(config: FleetConfig, duration_ns: int, *,
+                         slo_ns: int, sink=None) -> TimelineDriver:
+    """The fleet's master-side timeline driver (serial and sharded).
+
+    One construction path for both execution modes, so the sample grid,
+    monitors, and flight-recorder state are identical by code identity.
+    """
+    return TimelineDriver(
+        config.timeline, slo_ns=slo_ns, n_nodes=config.n_nodes,
+        duration_ns=duration_ns, window_ns=config.lb_wire_latency_ns,
+        fault_windows=fleet_fault_windows(config), fleet=True, sink=sink)
+
+
 # --------------------------------------------------------------------- #
 # In-process execution.
 # --------------------------------------------------------------------- #
@@ -399,13 +455,18 @@ class _LocalBackend:
     """
 
     def __init__(self, nodes: List[ServerSystem], views: List[NodeView],
-                 node_id_base: int = 0):
+                 node_id_base: int = 0, timeline: bool = False):
         self.nodes = nodes
         self.views = views
         self._base = node_id_base
         sanitizer = nodes[0].sim.sanitizer
         self.sanitizing = sanitizer is not None
         self.periodic_energy = self.sanitizing and sanitizer.periodic_energy
+        # Samplers live with the nodes — the same code path whether the
+        # nodes are in-process or inside a shard worker, which is what
+        # makes sharded and serial timelines bit-identical.
+        self.samplers = ([TimelineSampler(node) for node in nodes]
+                         if timeline else None)
 
     def prefeed(self, batches: List[List[int]]) -> None:
         for node, batch in zip(self.nodes, batches):
@@ -420,9 +481,11 @@ class _LocalBackend:
 
     def run_span(self, start: int, run_to: int, n_windows: int,
                  batches, caps, want_state: bool, want_speed: bool,
-                 want_busy: bool) -> None:
-        # The want_* flags exist for the process-boundary backend; the
-        # local views read live state, so nothing needs shipping.
+                 want_busy: bool, want_timeline: bool = False):
+        # The want_state/speed/busy flags exist for the process-boundary
+        # backend; the local views read live state, so nothing needs
+        # shipping. Timeline rows DO need producing here — sampling at
+        # the node is the code path both execution modes share.
         nodes = self.nodes
         if batches is not None:
             for node, batch in zip(nodes, batches):
@@ -434,19 +497,23 @@ class _LocalBackend:
         if not self.sanitizing:
             for node in nodes:
                 node.sim.run_until(run_to)
-            return
-        for nid, node in enumerate(nodes):
-            node.sim.run_until(run_to)
-            sanitizer = node.sim.sanitizer
-            if n_windows == 1:
-                sanitizer.check_lockstep_window(self._base + nid, start,
-                                                run_to)
-            else:
-                sanitizer.check_lockstep_stride(self._base + nid, start,
-                                                run_to, n_windows)
-            if sanitizer.periodic_energy:
-                sanitizer.check_energy_window(node.processor.energy,
-                                              run_to)
+        else:
+            for nid, node in enumerate(nodes):
+                node.sim.run_until(run_to)
+                sanitizer = node.sim.sanitizer
+                if n_windows == 1:
+                    sanitizer.check_lockstep_window(self._base + nid,
+                                                    start, run_to)
+                else:
+                    sanitizer.check_lockstep_stride(self._base + nid,
+                                                    start, run_to,
+                                                    n_windows)
+                if sanitizer.periodic_energy:
+                    sanitizer.check_energy_window(node.processor.energy,
+                                                  run_to)
+        if want_timeline:
+            return [sampler.sample(run_to) for sampler in self.samplers]
+        return None
 
     def finish(self, duration_ns: int, drain_ns: int, release_caps: bool,
                wall_start: float) -> List[RunResult]:
@@ -503,6 +570,9 @@ class FleetSystem:
                 period_ns=config.budget_period_ns,
                 initial_busy=[busy_ns(node) for node in self.nodes])
         self.load_shape = fleet_load_shape(config)
+        #: Live-sample callback for timeline runs (the ``watch``
+        #: dashboard hooks in here). Runtime wiring, never config.
+        self.timeline_sink = None
 
     # ----------------------------------------------------------------- #
 
@@ -513,10 +583,24 @@ class FleetSystem:
         config = self.config
         wall_start = time.perf_counter()
         times, sessions = fleet_schedule(config, duration_ns)
-        backend = _LocalBackend(self.nodes, self.views)
-        perf = drive_lockstep(config, duration_ns, times, sessions,
-                              self.policy, self.monitor, self.budget,
-                              backend)
+        backend = _LocalBackend(self.nodes, self.views,
+                                timeline=config.timeline is not None)
+        driver = None
+        if config.timeline is not None:
+            driver = make_timeline_driver(
+                config, duration_ns, slo_ns=self.nodes[0].app.slo_ns,
+                sink=self.timeline_sink)
+        try:
+            perf = drive_lockstep(config, duration_ns, times, sessions,
+                                  self.policy, self.monitor, self.budget,
+                                  backend, timeline=driver)
+        except SanitizerError as err:
+            if driver is not None:
+                driver.on_sanitizer_error(str(err))
+            raise
+        timeline = driver.finish() if driver is not None else None
+        if timeline is not None and timeline.aborted_at_ns is not None:
+            duration_ns = timeline.aborted_at_ns
         node_results = backend.finish(duration_ns, drain_ns,
                                       self.budget is not None, wall_start)
         perf.shards = 1
@@ -524,7 +608,8 @@ class FleetSystem:
         return build_fleet_result(
             config, duration_ns, node_results,
             [view.dispatched for view in self.views], perf,
-            self.budget.rebalances if self.budget else 0, self.monitor)
+            self.budget.rebalances if self.budget else 0, self.monitor,
+            timeline=timeline)
 
 
 def run_fleet(config: FleetConfig, duration_ns: int,

@@ -53,6 +53,7 @@ from repro.cluster.config import FleetConfig
 from repro.cluster.fleet import (FleetResult, _LocalBackend,
                                  build_fleet_result, drive_lockstep,
                                  fleet_schedule, make_fleet_policy,
+                                 make_timeline_driver,
                                  validate_fleet_config)
 from repro.cluster.health import HealthMonitor
 from repro.cluster.lb import RemoteNodeView, node_relative_speed
@@ -90,14 +91,20 @@ def _worker_main(config: FleetConfig, node_ids: Sequence[int],
     try:
         nodes = [ServerSystem(config.node_config(i)) for i in node_ids]
         backend = _LocalBackend(nodes, views=[],
-                                node_id_base=node_ids[0])
+                                node_id_base=node_ids[0],
+                                timeline=config.timeline is not None)
         conn.send(("ok", {
             "ladders": [power_ladder(node.processor) for node in nodes],
             "busy": [busy_ns(node) for node in nodes],
             "n_cores": [node.processor.n_cores for node in nodes],
             "sanitizing": backend.sanitizing,
             "periodic_energy": backend.periodic_energy,
+            "slo_ns": nodes[0].app.slo_ns,
         }))
+        # Wall seconds spent executing spans, for the master's
+        # shard-imbalance gauge (pure execution telemetry — never feeds
+        # back into any simulation decision).
+        span_wall_s = 0.0
         while True:
             msg = conn.recv()
             cmd = msg[0]
@@ -111,18 +118,26 @@ def _worker_main(config: FleetConfig, node_ids: Sequence[int],
                 conn.send(("ok", _snapshot(nodes, want_speed=True)))
             elif cmd == "span":
                 (_, start, run_to, n_windows, batches, caps,
-                 want_state, want_speed, want_busy) = msg
-                backend.run_span(start, run_to, n_windows, batches, caps,
-                                 want_state, want_speed, want_busy)
+                 want_state, want_speed, want_busy, want_timeline) = msg
+                t0 = time.perf_counter()
+                rows = backend.run_span(start, run_to, n_windows, batches,
+                                        caps, want_state, want_speed,
+                                        want_busy, want_timeline)
+                span_wall_s += time.perf_counter() - t0
                 payload = (_snapshot(nodes, want_speed)
                            if want_state or want_speed else {})
                 if want_busy:
                     payload["busy"] = backend.busy()
+                if rows is not None:
+                    payload["timeline"] = rows
                 conn.send(("ok", payload))
             elif cmd == "finish":
                 _, duration_ns, drain_ns, release_caps, wall_start = msg
-                conn.send(("ok", backend.finish(
-                    duration_ns, drain_ns, release_caps, wall_start)))
+                conn.send(("ok", {
+                    "results": backend.finish(duration_ns, drain_ns,
+                                              release_caps, wall_start),
+                    "span_wall_s": span_wall_s,
+                }))
             elif cmd == "close":
                 return
             else:  # pragma: no cover - protocol bug guard
@@ -237,17 +252,26 @@ class _ShardBackend:
 
     def run_span(self, start: int, run_to: int, n_windows: int,
                  batches, caps, want_state: bool, want_speed: bool,
-                 want_busy: bool) -> None:
+                 want_busy: bool, want_timeline: bool = False):
         for shard in self.shards:
             shard.send("span", start, run_to, n_windows,
                        None if batches is None
                        else batches[shard.lo:shard.hi],
                        None if caps is None else caps[shard.lo:shard.hi],
-                       want_state, want_speed, want_busy)
+                       want_state, want_speed, want_busy, want_timeline)
         # The ack doubles as the barrier: workers run their shards
         # concurrently between the send and recv loops.
+        rows = [None] * len(self.views) if want_timeline else None
         for shard in self.shards:
-            self._apply(shard, shard.recv())
+            payload = shard.recv()
+            self._apply(shard, payload)
+            if want_timeline:
+                # Rows were sampled worker-side by the same
+                # _LocalBackend sampler code the serial fleet runs:
+                # reassembling them in node order reproduces the serial
+                # sample bit for bit.
+                rows[shard.lo:shard.hi] = payload["timeline"]
+        return rows
 
     def finish(self, duration_ns: int, drain_ns: int, release_caps: bool,
                wall_start: float):
@@ -255,8 +279,11 @@ class _ShardBackend:
             shard.send("finish", duration_ns, drain_ns, release_caps,
                        wall_start)
         results = []
+        self.span_wall_s: List[float] = []
         for shard in self.shards:
-            results.extend(shard.recv())
+            payload = shard.recv()
+            results.extend(payload["results"])
+            self.span_wall_s.append(payload["span_wall_s"])
         return results
 
 
@@ -273,6 +300,10 @@ class ShardedFleetSystem:
         validate_fleet_config(config)
         self.config = config
         self.n_shards = max(1, min(config.shards, config.n_nodes))
+        #: Live-sample callback for timeline runs (runtime wiring, like
+        #: ``FleetSystem.timeline_sink``). Runs master-side — workers
+        #: only ship rows.
+        self.timeline_sink = None
 
     def run(self, duration_ns: int,
             drain_ns: int = 100 * MS) -> FleetResult:
@@ -322,8 +353,22 @@ class ShardedFleetSystem:
                 shards, views, completed, gave_up, speed,
                 list(initial_busy), sanitizing,
                 handshakes[0]["periodic_energy"])
-            perf = drive_lockstep(config, duration_ns, times, sessions,
-                                  policy, monitor, arbiter, backend)
+            driver = None
+            if config.timeline is not None:
+                driver = make_timeline_driver(
+                    config, duration_ns, slo_ns=handshakes[0]["slo_ns"],
+                    sink=self.timeline_sink)
+            try:
+                perf = drive_lockstep(config, duration_ns, times,
+                                      sessions, policy, monitor, arbiter,
+                                      backend, timeline=driver)
+            except SanitizerError as err:
+                if driver is not None:
+                    driver.on_sanitizer_error(str(err))
+                raise
+            timeline = driver.finish() if driver is not None else None
+            if timeline is not None and timeline.aborted_at_ns is not None:
+                duration_ns = timeline.aborted_at_ns
             node_results = backend.finish(duration_ns, drain_ns,
                                           arbiter is not None, wall_start)
         finally:
@@ -332,7 +377,9 @@ class ShardedFleetSystem:
 
         perf.shards = self.n_shards
         perf.wall_s = time.perf_counter() - wall_start
+        perf.shard_span_wall_s = list(backend.span_wall_s)
         return build_fleet_result(
             config, duration_ns, node_results,
             [view.dispatched for view in views], perf,
-            arbiter.rebalances if arbiter else 0, monitor)
+            arbiter.rebalances if arbiter else 0, monitor,
+            timeline=timeline)

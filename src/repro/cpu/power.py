@@ -102,6 +102,20 @@ class EnergyMeter:
             self.accrue(now_ns)
         return self._energy_j
 
+    def project_j(self, now_ns: int) -> float:
+        """Energy as of ``now_ns`` *without* moving the checkpoint.
+
+        :meth:`accrue` mutates the accumulator and checkpoint, changing
+        later float accumulation order — so anything reading energy
+        mid-run (the timeline sampler, the window sanitizer) must use
+        this read-only projection to keep results bit-identical to an
+        unobserved run.
+        """
+        if now_ns < self._last_time:
+            raise ValueError(
+                f"time went backwards: {now_ns} < {self._last_time}")
+        return self._energy_j + self._power_w * (now_ns - self._last_time) / S
+
 
 class PackageEnergy:
     """Aggregates per-core meters plus the (P-state-following) uncore."""
@@ -134,3 +148,15 @@ class PackageEnergy:
     def cores_energy_j(self, now_ns: int) -> float:
         """Core-only energy (excludes uncore)."""
         return sum(m.energy_j(now_ns) for m in self.core_meters.values())
+
+    def project_total_j(self, now_ns: int) -> float:
+        """Read-only package-energy projection at ``now_ns``.
+
+        Sums :meth:`EnergyMeter.project_j` over cores + uncore without
+        flushing any accrual checkpoint; the mid-run counterpart of
+        :meth:`total_energy_j` for observers that must not perturb the
+        run (see that method's projection caveat)."""
+        total = self._uncore.project_j(now_ns)
+        for meter in self.core_meters.values():
+            total += meter.project_j(now_ns)
+        return total

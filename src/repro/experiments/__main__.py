@@ -9,6 +9,7 @@ Usage::
     python -m repro.experiments --markdown out.md
     python -m repro.experiments trace fig9      # Perfetto span trace
     python -m repro.experiments report fig9 --telemetry
+    python -m repro.experiments watch slo       # live timeline dashboard
     python -m repro.experiments list            # ids + one-line summaries
     python -m repro.experiments --sanitize fig9 # invariant-checked run
 
@@ -39,6 +40,9 @@ def main(argv=None) -> int:
         handler = tracecli.cmd_trace if argv[0] == "trace" \
             else tracecli.cmd_report
         return handler(argv[1:])
+    if argv and argv[0] == "watch":
+        from repro.experiments import watchcli
+        return watchcli.cmd_watch(argv[1:])
     if argv and argv[0] == "list":
         from repro.experiments.registry import describe_experiments
         for experiment_id, description in describe_experiments().items():

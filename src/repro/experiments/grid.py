@@ -15,6 +15,7 @@ from repro.experiments import parallel
 from repro.experiments.base import ExperimentScale
 from repro.experiments.runner import run_cached
 from repro.faults.plan import FaultPlan
+from repro.obs.timeline import TimelineConfig
 from repro.system import RunResult, ServerConfig
 from repro.workload.retry import RetryPolicy
 
@@ -31,26 +32,31 @@ GridKey = Tuple[str, str, str, str]  # (app, level, governor, sleep)
 def cell_config(app: str, level: str, governor: str, sleep: str,
                 scale: ExperimentScale,
                 fault_plan: Optional[FaultPlan] = None,
-                retry: Optional[RetryPolicy] = None) -> ServerConfig:
+                retry: Optional[RetryPolicy] = None,
+                timeline: Optional[TimelineConfig] = None) -> ServerConfig:
     """The configuration of one grid cell.
 
-    ``fault_plan``/``retry`` overlay a fault scenario (``repro.faults``)
-    and a client retry policy on the cell; both default to off, which
-    keeps the classic grid's configurations (and cache keys) unchanged.
+    ``fault_plan``/``retry``/``timeline`` overlay a fault scenario
+    (``repro.faults``), a client retry policy, and windowed timeline
+    sampling (``repro.obs.timeline``) on the cell; all default to off,
+    which keeps the classic grid's configurations (and cache keys)
+    unchanged.
     """
     return ServerConfig(app=app, load_level=level, freq_governor=governor,
                         idle_governor=sleep, n_cores=scale.n_cores,
                         seed=scale.seed, fault_plan=fault_plan,
-                        retry=retry)
+                        retry=retry, timeline=timeline)
 
 
 def run_cell(app: str, level: str, governor: str, sleep: str,
              scale: ExperimentScale,
              fault_plan: Optional[FaultPlan] = None,
-             retry: Optional[RetryPolicy] = None) -> RunResult:
+             retry: Optional[RetryPolicy] = None,
+             timeline: Optional[TimelineConfig] = None) -> RunResult:
     """Run (or fetch) one grid cell."""
     config = cell_config(app, level, governor, sleep, scale,
-                         fault_plan=fault_plan, retry=retry)
+                         fault_plan=fault_plan, retry=retry,
+                         timeline=timeline)
     return run_cached(config, scale.duration_ns)
 
 
@@ -58,22 +64,26 @@ def run_grid(governors, sleeps, scale: ExperimentScale,
              apps=APPS, levels=LOAD_LEVELS,
              workers: Optional[int] = None,
              fault_plan: Optional[FaultPlan] = None,
-             retry: Optional[RetryPolicy] = None) -> Dict[GridKey, RunResult]:
+             retry: Optional[RetryPolicy] = None,
+             timeline: Optional[TimelineConfig] = None
+             ) -> Dict[GridKey, RunResult]:
     """Run every (app, level, governor, sleep) combination.
 
     Cells are independent seeded systems, so with ``workers`` > 1 (or an
     ambient/environment worker count — see
     :func:`repro.experiments.parallel.resolve_workers`) they fan out over
     a process pool; per-cell results are identical to a serial run.
-    ``fault_plan``/``retry`` apply one fault scenario and retry policy
-    uniformly across the grid (``fault_resilience`` sweeps them).
+    ``fault_plan``/``retry``/``timeline`` apply one fault scenario,
+    retry policy, and timeline request uniformly across the grid
+    (``fault_resilience`` sweeps the first two).
     """
     keys: List[GridKey] = [(app, level, governor, sleep)
                            for app in apps
                            for level in levels
                            for governor in governors
                            for sleep in sleeps]
-    jobs = [(cell_config(*key, scale, fault_plan=fault_plan, retry=retry),
+    jobs = [(cell_config(*key, scale, fault_plan=fault_plan, retry=retry,
+                         timeline=timeline),
              scale.duration_ns) for key in keys]
     results = parallel.run_many(jobs, workers=workers)
     return dict(zip(keys, results))

@@ -1,6 +1,6 @@
-"""Observability: request span tracing, telemetry registry, exporters.
+"""Observability: request span tracing, telemetry registry, timelines.
 
-Three pillars (see docs/OBSERVABILITY.md):
+Four pillars (see docs/OBSERVABILITY.md):
 
 * :mod:`repro.obs.span` — end-to-end request tracing. Sampled requests
   carry a :class:`~repro.obs.span.TraceContext`; instrumentation points
@@ -8,19 +8,32 @@ Three pillars (see docs/OBSERVABILITY.md):
   boundaries so a request's latency decomposes exactly into named spans.
 * :mod:`repro.obs.registry` — typed Counter/Gauge/Histogram instruments
   with labels (core, subsystem), merged into ``RunResult.telemetry``.
+* :mod:`repro.obs.timeline` / :mod:`repro.obs.monitors` — deterministic
+  windowed time-series (counters as per-window deltas, gauges as
+  snapshots) with SLO burn-rate / oscillation assertion monitors and a
+  ring-buffer flight recorder, landing in ``RunResult.timeline``.
 * :mod:`repro.obs.perfetto` / :mod:`repro.obs.prometheus` — exporters:
-  Chrome/Perfetto ``trace_event`` JSON and Prometheus text format.
+  Chrome/Perfetto ``trace_event`` JSON and Prometheus text format, both
+  timeline-aware, plus CSV (``repro.obs.timeline.timeline_csv``).
 """
 
 from repro.obs.registry import Counter, Gauge, Histogram, TelemetryRegistry
 from repro.obs.span import (STAGES, RequestTrace, SpanLog, TraceContext)
+from repro.obs.monitors import (MonitorEvent, MonitorSpec, oscillation,
+                                slo_burn)
+from repro.obs.timeline import (FlightDump, Timeline, TimelineConfig,
+                                TimelineResult, timeline_csv,
+                                write_flight_dumps, write_timeline_csv)
 from repro.obs.perfetto import (fleet_perfetto_trace, perfetto_trace,
                                 write_perfetto)
-from repro.obs.prometheus import prometheus_text
+from repro.obs.prometheus import prometheus_text, prometheus_timeline_text
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "TelemetryRegistry",
     "STAGES", "RequestTrace", "SpanLog", "TraceContext",
+    "MonitorSpec", "MonitorEvent", "slo_burn", "oscillation",
+    "TimelineConfig", "Timeline", "TimelineResult", "FlightDump",
+    "timeline_csv", "write_timeline_csv", "write_flight_dumps",
     "perfetto_trace", "fleet_perfetto_trace", "write_perfetto",
-    "prometheus_text",
+    "prometheus_text", "prometheus_timeline_text",
 ]

@@ -1,0 +1,230 @@
+"""Assertion monitors over windowed timeline samples.
+
+The assertion-based DVS exploration literature runs *runtime monitors*
+alongside the simulation: small predicates over the trajectory that trip
+the moment a run goes bad, instead of waiting for end-of-run aggregates.
+This module provides the two monitors the Pareto/regression drivers
+need, evaluated by ``repro.obs.timeline`` once per sample window:
+
+* :class:`SLOMonitor` (``kind="slo-burn"``) — SRE-style burn rate. A
+  window is *bad* when its p99 exceeds the SLO; over a rolling horizon
+  of windows, ``burn = bad_fraction / budget``. The monitor trips when
+  the horizon is full and burn reaches the threshold — sustained
+  violation, not a single unlucky window.
+* :class:`OscillationMonitor` (``kind="oscillation"``) — governor
+  thrash. Trips when a node's per-window effective P-state changes stay
+  at/above ``max_flips`` for ``consecutive_windows`` windows in a row
+  (the DVFS ping-pong pathology NMAP's hysteresis is meant to prevent).
+
+Monitors are *declared* as frozen, hashable :class:`MonitorSpec` values
+(so they can live inside cacheable run configs) and *instantiated* per
+run. They only ever read sampled rows — never live simulation state — so
+arming them cannot perturb results: a monitored run is bit-identical to
+an unmonitored one up to the instant an ``abort=True`` trip truncates it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+KIND_SLO_BURN = "slo-burn"
+KIND_OSCILLATION = "oscillation"
+
+MONITOR_KINDS = (KIND_SLO_BURN, KIND_OSCILLATION)
+
+
+@dataclass(frozen=True)
+class MonitorSpec:
+    """Declarative, hashable description of one assertion monitor.
+
+    Lives inside :class:`~repro.obs.timeline.TimelineConfig` (and hence
+    inside cacheable run configs), so it must stay frozen and contain
+    only primitives. Prefer the :func:`slo_burn` / :func:`oscillation`
+    factories over spelling specs by hand.
+    """
+
+    kind: str
+    #: Restrict to one node index; None watches every node.
+    node: Optional[int] = None
+    #: Truncate the run at the sample that trips (early-abort for
+    #: exploration drivers pruning bad regions). False only records.
+    abort: bool = False
+    # --- slo-burn parameters -------------------------------------- #
+    #: Tolerated fraction of bad windows (the error budget).
+    budget: float = 0.1
+    #: Rolling horizon length, in sample windows.
+    horizon_windows: int = 8
+    #: Trip when ``bad_fraction / budget`` reaches this (1.0 = budget
+    #: fully burned at sustained rate).
+    threshold: float = 1.0
+    # --- oscillation parameters ----------------------------------- #
+    #: P-state changes per window counting as thrash.
+    max_flips: float = 8.0
+    #: Windows in a row at/above ``max_flips`` before tripping.
+    consecutive_windows: int = 3
+
+    def __post_init__(self) -> None:
+        if self.kind not in MONITOR_KINDS:
+            raise ValueError(f"unknown monitor kind {self.kind!r}; "
+                             f"known: {list(MONITOR_KINDS)}")
+        if self.kind == KIND_SLO_BURN:
+            if not 0.0 < self.budget <= 1.0:
+                raise ValueError("budget must be in (0, 1]")
+            if self.horizon_windows < 1:
+                raise ValueError("horizon_windows must be >= 1")
+            if self.threshold <= 0:
+                raise ValueError("threshold must be positive")
+        else:
+            if self.max_flips < 0:
+                raise ValueError("max_flips must be >= 0")
+            if self.consecutive_windows < 1:
+                raise ValueError("consecutive_windows must be >= 1")
+
+
+def slo_burn(budget: float = 0.1, horizon_windows: int = 8,
+             threshold: float = 1.0, node: Optional[int] = None,
+             abort: bool = False) -> MonitorSpec:
+    """An SLO burn-rate monitor spec."""
+    return MonitorSpec(kind=KIND_SLO_BURN, budget=budget,
+                       horizon_windows=horizon_windows,
+                       threshold=threshold, node=node, abort=abort)
+
+
+def oscillation(max_flips: float = 8.0, consecutive_windows: int = 3,
+                node: Optional[int] = None,
+                abort: bool = False) -> MonitorSpec:
+    """A governor-thrash (P-state oscillation) monitor spec."""
+    return MonitorSpec(kind=KIND_OSCILLATION, max_flips=max_flips,
+                       consecutive_windows=consecutive_windows,
+                       node=node, abort=abort)
+
+
+@dataclass
+class MonitorEvent:
+    """One monitor trip: typed, timestamped, comparable across runs.
+
+    Emitted on the *transition* into the tripped state (a sustained
+    violation produces one event, not one per window); the monitor
+    re-arms once its predicate clears.
+    """
+
+    t_ns: int
+    monitor: str
+    node: int
+    #: The predicate value at the trip (burn rate / flips per window).
+    value: float
+    message: str
+    #: Whether the spec requested run truncation at this trip.
+    abort: bool = False
+
+    def as_dict(self) -> dict:
+        return {"t_ns": self.t_ns, "monitor": self.monitor,
+                "node": self.node, "value": self.value,
+                "message": self.message, "abort": self.abort}
+
+
+class _NodeSetMonitor:
+    """Shared scaffolding: per-watched-node state and trip latching."""
+
+    def __init__(self, spec: MonitorSpec, n_nodes: int):
+        self.spec = spec
+        if spec.node is not None and not 0 <= spec.node < n_nodes:
+            raise ValueError(f"monitor node {spec.node} out of range "
+                             f"[0, {n_nodes})")
+        self.watched = ([spec.node] if spec.node is not None
+                        else list(range(n_nodes)))
+        self._tripped = {nid: False for nid in self.watched}
+
+    def _emit(self, events: List[MonitorEvent], t_ns: int, nid: int,
+              value: float, message: str) -> None:
+        if not self._tripped[nid]:
+            self._tripped[nid] = True
+            events.append(MonitorEvent(
+                t_ns=t_ns, monitor=self.spec.kind, node=nid,
+                value=value, message=message, abort=self.spec.abort))
+
+    def _clear(self, nid: int) -> None:
+        self._tripped[nid] = False
+
+
+class SLOMonitor(_NodeSetMonitor):
+    """Burn-rate monitor: rolling fraction of SLO-violating windows."""
+
+    def __init__(self, spec: MonitorSpec, slo_ns: int, n_nodes: int,
+                 col: Dict[str, int]):
+        super().__init__(spec, n_nodes)
+        self.slo_ns = slo_ns
+        self._i_p99 = col["p99_ns"]
+        self._i_completed = col["completed"]
+        self._bad = {nid: deque(maxlen=spec.horizon_windows)
+                     for nid in self.watched}
+
+    def observe(self, t_ns: int,
+                node_rows: Sequence[Sequence[float]]) -> List[MonitorEvent]:
+        events: List[MonitorEvent] = []
+        spec = self.spec
+        for nid in self.watched:
+            row = node_rows[nid]
+            # Empty windows neither burn nor restore budget: an idle
+            # (or dead) node must not look healthy by serving nothing.
+            if row[self._i_completed] <= 0:
+                continue
+            bad = self._bad[nid]
+            bad.append(1 if row[self._i_p99] > self.slo_ns else 0)
+            if len(bad) < spec.horizon_windows:
+                continue
+            burn = (sum(bad) / len(bad)) / spec.budget
+            if burn >= spec.threshold:
+                self._emit(events, t_ns, nid, burn,
+                           f"node {nid} p99 burn rate {burn:.2f}x over "
+                           f"{spec.horizon_windows} windows (budget "
+                           f"{spec.budget:.0%})")
+            else:
+                self._clear(nid)
+        return events
+
+
+class OscillationMonitor(_NodeSetMonitor):
+    """Governor-thrash monitor: sustained per-window P-state churn."""
+
+    def __init__(self, spec: MonitorSpec, n_nodes: int,
+                 col: Dict[str, int]):
+        super().__init__(spec, n_nodes)
+        self._i_flips = col["pstate_changes"]
+        self._streak = {nid: 0 for nid in self.watched}
+
+    def observe(self, t_ns: int,
+                node_rows: Sequence[Sequence[float]]) -> List[MonitorEvent]:
+        events: List[MonitorEvent] = []
+        spec = self.spec
+        for nid in self.watched:
+            flips = node_rows[nid][self._i_flips]
+            if flips >= spec.max_flips:
+                self._streak[nid] += 1
+                if self._streak[nid] >= spec.consecutive_windows:
+                    self._emit(events, t_ns, nid, flips,
+                               f"node {nid} P-state thrash: "
+                               f"{flips:.0f} changes/window for "
+                               f"{self._streak[nid]} windows")
+            else:
+                self._streak[nid] = 0
+                self._clear(nid)
+        return events
+
+
+def make_monitors(specs: Sequence[MonitorSpec], *, slo_ns: int,
+                  n_nodes: int, col: Dict[str, int]) -> list:
+    """Instantiate runtime monitors for one run.
+
+    ``col`` maps timeline series names to row indices (supplied by the
+    timeline layer, so monitors stay decoupled from the row layout).
+    """
+    monitors = []
+    for spec in specs:
+        if spec.kind == KIND_SLO_BURN:
+            monitors.append(SLOMonitor(spec, slo_ns, n_nodes, col))
+        else:
+            monitors.append(OscillationMonitor(spec, n_nodes, col))
+    return monitors

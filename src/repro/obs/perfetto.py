@@ -24,6 +24,7 @@ from typing import Dict, List, Optional
 _PID_SPANS = 1
 _PID_CHANNELS = 2
 _PID_FAULTS = 3
+_PID_TIMELINE = 4
 
 #: Channels that mark point events rather than level changes.
 _INSTANT_SUFFIXES = ("ksoftirqd_wake",)
@@ -100,6 +101,40 @@ def _channel_events(trace, pid: int = _PID_CHANNELS,
     return events
 
 
+def _timeline_events(timeline_result, pid: int = _PID_TIMELINE,
+                     process_name: str = "timeline (windowed)",
+                     node_label=lambda i: f"node{i}") -> List[dict]:
+    """Counter tracks (``ph:C``) for a windowed timeline.
+
+    One thread per timeline series; counter samples sit at window *end*
+    instants. Node series are named ``node<i>.<series>``; fleet-level
+    series ``fleet.<series>``.
+    """
+    events: List[dict] = [{
+        "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+        "args": {"name": process_name},
+    }]
+    tracks = [(f"{node_label(i)}.{sname}", col, tl)
+              for i, tl in enumerate(timeline_result.nodes)
+              for col, sname in enumerate(tl.series_names)]
+    fleet = timeline_result.fleet
+    if fleet is not None:
+        tracks.extend((f"fleet.{sname}", col, fleet)
+                      for col, sname in enumerate(fleet.series_names))
+    for tid, (name, col, tl) in enumerate(tracks):
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": name},
+        })
+        for i, t_ns in enumerate(tl.t_ns):
+            events.append({
+                "name": name, "cat": "timeline", "ph": "C",
+                "ts": _us(t_ns), "pid": pid, "tid": tid,
+                "args": {"value": float(tl.rows[i][col])},
+            })
+    return events
+
+
 def perfetto_trace(result, include_channels: bool = True) -> dict:
     """The Trace Event Format document for one run (a JSON-able dict)."""
     events: List[dict] = []
@@ -121,6 +156,10 @@ def perfetto_trace(result, include_channels: bool = True) -> dict:
             events.extend(_channel_events(
                 trace, pid=_PID_FAULTS,
                 process_name="fault injection", channels=fault))
+    timeline = getattr(result, "timeline", None)
+    if timeline is not None and len(timeline):
+        events.extend(_timeline_events(timeline,
+                                       node_label=lambda i: "node"))
     meta: Dict[str, object] = {
         "model": "repro-nmap",
         "duration_ns": getattr(result, "duration_ns", None),
@@ -170,6 +209,13 @@ def fleet_perfetto_trace(fleet_result,
                     pid=2 * len(fleet_result.node_results) + i + 1,
                     process_name=f"node{i} fault injection",
                     channels=fault))
+    timeline = getattr(fleet_result, "timeline", None)
+    if timeline is not None and len(timeline):
+        # One shared timeline process past both the per-node pid pairs
+        # and the per-node fault tracks: 3N pids are spoken for.
+        events.extend(_timeline_events(
+            timeline, pid=3 * len(fleet_result.node_results) + 1,
+            process_name="fleet timeline (windowed)"))
     config = fleet_result.config
     meta: Dict[str, object] = {
         "model": "repro-nmap",

@@ -19,7 +19,8 @@ Counter semantics:
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
+from typing import List
 
 
 @dataclass
@@ -126,6 +127,10 @@ class LockstepPerf:
     shards: int = 1
     #: Wall-clock seconds of the whole fleet run.
     wall_s: float = 0.0
+    #: Wall-clock seconds each shard worker spent inside span execution
+    #: (sharded runs only; empty in-process). Execution detail like
+    #: ``wall_s`` — parity comparisons must skip it.
+    shard_span_wall_s: List[float] = field(default_factory=list)
 
     @property
     def coalesce_ratio(self) -> float:
@@ -134,9 +139,25 @@ class LockstepPerf:
             return 1.0
         return self.windows / self.strides
 
+    @property
+    def shard_imbalance(self) -> float:
+        """Slowest shard's span wall over the mean (1.0 = balanced).
+
+        The lockstep barrier waits for the slowest shard every stride,
+        so this ratio is the attributable sharded-slowdown factor: 2.0
+        means half the other workers' time was spent blocked."""
+        walls = self.shard_span_wall_s
+        if not walls:
+            return 1.0
+        mean = sum(walls) / len(walls)
+        if mean <= 0:
+            return 1.0
+        return max(walls) / mean
+
     def as_dict(self) -> dict:
         d = asdict(self)
         d["coalesce_ratio"] = round(self.coalesce_ratio, 3)
+        d["shard_imbalance"] = round(self.shard_imbalance, 3)
         return d
 
     def register_into(self, registry, subsystem: str = "fleet") -> None:
@@ -150,6 +171,9 @@ class LockstepPerf:
              self.shards),
             ("lockstep_coalesce_ratio", "Base windows per executed stride",
              self.coalesce_ratio),
+            ("lockstep_shard_imbalance",
+             "Slowest shard's span wall over the mean (1.0 = balanced)",
+             self.shard_imbalance),
         ]
         for name, help_text, value in gauges:
             registry.gauge(name, help_text, subsystem=subsystem).set(value)

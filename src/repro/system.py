@@ -43,6 +43,9 @@ from repro.nic.nic import MultiQueueNic
 from repro.netstack.stack import NetworkStack, StackConfig
 from repro.obs.registry import TelemetryRegistry
 from repro.obs.span import STAGES, SpanLog
+from repro.obs.timeline import (TimelineConfig, TimelineDriver,
+                                TimelineResult, TimelineSampler,
+                                recent_spans)
 from repro.sim.perf import PerfSnapshot
 from repro.sim.rng import RandomStreams
 from repro.sim.simulator import Simulator
@@ -123,6 +126,11 @@ class ServerConfig:
     #: no timers and keeps the event stream bit-identical to a
     #: retry-less client.
     retry: Optional[RetryPolicy] = None
+    #: Windowed time-series sampling + assertion monitors + flight
+    #: recorder (``repro.obs.timeline``; docs/OBSERVABILITY.md). None
+    #: samples nothing and the run is bit-identical to one on a build
+    #: without timeline support.
+    timeline: Optional[TimelineConfig] = None
 
     def with_overrides(self, **kwargs) -> "ServerConfig":
         """A copy with fields replaced (convenience for sweeps)."""
@@ -156,6 +164,9 @@ class RunResult:
     #: Span log of the sampled requests (``repro.obs.span.SpanLog``);
     #: None when ``config.trace_sample_rate`` is 0.
     spans: Optional[SpanLog] = None
+    #: Windowed time-series of the run (``repro.obs.timeline``); None
+    #: when ``config.timeline`` is unset.
+    timeline: Optional[TimelineResult] = None
 
     def latency_stats(self) -> LatencyStats:
         """Percentile summary of completed-request latencies."""
@@ -295,6 +306,12 @@ class ServerSystem:
         if config.fault_plan is not None and config.fault_plan.windows:
             from repro.faults.inject import FaultInjector
             self.faults = FaultInjector(self)
+
+        #: Live-sample callback ``(t_ns, node_rows, fleet_row, events)``
+        #: for timeline runs (the ``watch`` dashboard hooks in here).
+        #: Runtime wiring, deliberately *not* a config field: sinks are
+        #: unhashable and must never affect the cache key — or results.
+        self.timeline_sink = None
 
     # ------------------------------------------------------------------ #
 
@@ -542,8 +559,9 @@ class ServerSystem:
             self.manager.stop()
 
     def _finalize_result(self, duration_ns: int, drain_ns: int,
-                         energy: EnergySummary,
-                         wall_start: float) -> RunResult:
+                         energy: EnergySummary, wall_start: float,
+                         timeline: Optional[TimelineResult] = None
+                         ) -> RunResult:
         """Trim the drain window, snapshot counters, build the result."""
         self.processor.finalize()
         self.client.finalize(duration_ns + drain_ns)
@@ -551,6 +569,8 @@ class ServerSystem:
             wall_s=time.perf_counter() - wall_start)
         latencies_ns = self.client.latencies_ns()
         telemetry = self._collect_telemetry(perf, latencies_ns)
+        if timeline is not None:
+            timeline.register_into(telemetry)
 
         return RunResult(
             config=self.config,
@@ -568,13 +588,52 @@ class ServerSystem:
             ksoftirqd_wakeups=self.stack.total_ksoftirqd_wakeups(),
             perf=perf,
             telemetry=telemetry,
-            spans=self.spans)
+            spans=self.spans,
+            timeline=timeline)
+
+    def _run_sampled(self, duration_ns: int) -> TimelineResult:
+        """Advance to ``duration_ns`` in timeline sample windows.
+
+        Splitting ``run_until`` at sample barriers is exact (barrier
+        invariance of the event kernel) and the sampler reads only
+        non-mutating projections, so a sampled run stays bit-identical
+        to an unsampled one — the determinism contract tests enforce.
+        """
+        from repro.analysis.sanitize import SanitizerError
+
+        tl_config = self.config.timeline
+        fault_windows = []
+        if self.config.fault_plan is not None:
+            fault_windows = [(w.start_ns, w.end_ns, w.kind, 0)
+                             for w in self.config.fault_plan.windows]
+        span_source = None
+        if self.spans is not None:
+            spans = self.spans
+            span_source = lambda since_ns: recent_spans(spans, since_ns)
+        driver = TimelineDriver(
+            tl_config, slo_ns=self.app.slo_ns, n_nodes=1,
+            duration_ns=duration_ns, fault_windows=fault_windows,
+            sink=self.timeline_sink, span_source=span_source)
+        sampler = TimelineSampler(self)
+        t = 0
+        try:
+            while t < duration_ns:
+                t = min(driver.next_grid_ns(t), duration_ns)
+                self.sim.run_until(t)
+                if driver.on_sample(t, [sampler.sample(t)]):
+                    break
+        except SanitizerError as err:
+            driver.on_sanitizer_error(str(err))
+            raise
+        return driver.finish()
 
     def run(self, duration_ns: int, drain_ns: int = 100 * MS) -> RunResult:
         """Run the workload for ``duration_ns``, then drain in-flight work.
 
         Energy is measured over exactly [0, duration]; latencies include
-        requests that complete during the drain window.
+        requests that complete during the drain window. An ``abort=True``
+        monitor trip truncates the measurement window at the tripping
+        sample (already-scheduled arrivals still play out in the drain).
         """
         if duration_ns <= 0:
             raise ValueError("duration must be positive")
@@ -582,14 +641,20 @@ class ServerSystem:
         self.client.start(duration_ns)
         self._start_power()
 
-        self.sim.run_until(duration_ns)
+        timeline = None
+        if self.config.timeline is not None:
+            timeline = self._run_sampled(duration_ns)
+            if timeline.aborted_at_ns is not None:
+                duration_ns = timeline.aborted_at_ns
+        else:
+            self.sim.run_until(duration_ns)
         energy = self._measure_energy(duration_ns)
 
         # Stop periodic machinery, then let in-flight requests finish.
         self._stop_power()
         self.sim.run_until(duration_ns + drain_ns)
         return self._finalize_result(duration_ns, drain_ns, energy,
-                                     wall_start)
+                                     wall_start, timeline=timeline)
 
 
 def run_server(config: ServerConfig, duration_ns: int) -> RunResult:

@@ -284,6 +284,25 @@ class OpenLoopClient:
         if self.span_log is not None:
             self.span_log.trim(t_end)
 
+    def window_latencies(self, start_idx: int, t_ns: int):
+        """``(next_idx, latencies)`` of completions delivered by ``t_ns``.
+
+        Scans the completion log from ``start_idx``; the returned index
+        resumes the scan at the next call, so a periodic sampler visits
+        each record exactly once. Completion records are appended in
+        transmit order — monotone in delivery time — so a pointer scan
+        is exact even though the batched NIC path records responses
+        before their (future) delivery instants. Read-only: never
+        consult the ``completed`` counter mid-run, it counts recordings,
+        not deliveries.
+        """
+        times = self._completion_times
+        i = start_idx
+        n = len(times)
+        while i < n and times[i] <= t_ns:
+            i += 1
+        return i, self._latencies[start_idx:i]
+
     def latencies_ns(self) -> np.ndarray:
         """End-to-end latencies (int64 ns) of completed requests."""
         return np.array(self._latencies, dtype=np.int64)

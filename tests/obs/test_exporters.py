@@ -9,9 +9,13 @@ import json
 from pathlib import Path
 
 from repro.obs.perfetto import perfetto_trace, write_perfetto
-from repro.obs.prometheus import prometheus_text, write_prometheus
+from repro.obs.prometheus import (prometheus_text,
+                                  prometheus_timeline_text,
+                                  write_prometheus)
 from repro.obs.registry import TelemetryRegistry
 from repro.obs.span import RequestTrace, SpanLog
+from repro.obs.timeline import (FLEET_SERIES, NODE_SERIES, Timeline,
+                                TimelineResult)
 from repro.sim.trace import TraceRecorder
 
 _HERE = Path(__file__).resolve().parent
@@ -65,6 +69,25 @@ def _sample_result():
     return result
 
 
+def _sample_timeline() -> TimelineResult:
+    """A tiny hand-built two-node fleet timeline (2 sample windows)."""
+    nodes = []
+    for nid in range(2):
+        tl = Timeline(NODE_SERIES)
+        for i in (1, 2):
+            row = [float(10 * i + nid + col)
+                   for col in range(len(NODE_SERIES))]
+            tl.append(i * 1_000_000, 1_000_000, row)
+        nodes.append(tl)
+    fleet = Timeline(FLEET_SERIES)
+    for i in (1, 2):
+        fleet.append(i * 1_000_000, 1_000_000,
+                     [float(100 * i + col)
+                      for col in range(len(FLEET_SERIES))])
+    return TimelineResult(interval_ns=1_000_000, nodes=nodes,
+                          fleet=fleet, events=[], dumps=[])
+
+
 def _check_golden(path: Path, text: str) -> None:
     assert path.exists(), (
         f"golden file {path.name} missing; run `python {__file__}` "
@@ -87,11 +110,38 @@ def test_prometheus_histogram_series_are_cumulative():
 
 def test_prometheus_escapes_and_sanitizes():
     reg = TelemetryRegistry()
-    reg.counter("weird.name", 'line\nbreak "quote"', tag='a"b').inc()
+    reg.counter("weird.name", 'line\nbreak "quote" back\\slash',
+                tag='a"b\\c\nd').inc()
     text = prometheus_text(reg)
     assert "weird_name" in text
-    assert r"line\nbreak \"quote\"" in text
-    assert r'tag="a\"b"' in text
+    # HELP text escapes only backslash and newline — quotes stay raw
+    # (the exposition format does not quote HELP, so `\"` would render
+    # literally in scrapers).
+    assert r'# HELP weird_name line\nbreak "quote" back\\slash' in text
+    # Label values additionally escape the double quote.
+    assert r'tag="a\"b\\c\nd"' in text
+
+
+def test_prometheus_sanitizes_leading_digit_label():
+    reg = TelemetryRegistry()
+    reg.counter("total", **{"0day": "x"}).inc()
+    text = prometheus_text(reg)
+    assert '_0day="x"' in text
+
+
+def test_prometheus_timeline_matches_golden():
+    _check_golden(_HERE / "golden_prometheus_timeline.txt",
+                  prometheus_timeline_text(_sample_timeline()))
+
+
+def test_prometheus_timeline_shape():
+    text = prometheus_timeline_text(_sample_timeline())
+    # Node series carry a node label and simulated-ms timestamps.
+    assert 'timeline_sent{node="0"} 10 1' in text
+    assert 'timeline_sent{node="1"} 21 2' in text
+    # Fleet series have no labels.
+    assert "timeline_dispatched 100 1" in text
+    assert "# TYPE timeline_p99_ns gauge" in text
 
 
 def test_perfetto_matches_golden():
@@ -134,6 +184,8 @@ if __name__ == "__main__":
     # Regenerate the golden files (review the diff before committing).
     (_HERE / "golden_prometheus.txt").write_text(
         prometheus_text(_sample_registry()))
+    (_HERE / "golden_prometheus_timeline.txt").write_text(
+        prometheus_timeline_text(_sample_timeline()))
     doc = perfetto_trace(_sample_result())
     (_HERE / "golden_perfetto.json").write_text(
         json.dumps(doc, indent=1, sort_keys=True) + "\n")
