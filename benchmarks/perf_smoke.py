@@ -28,12 +28,18 @@ A fourth measurement leaves the microbenchmark and times one small
 ``run_until`` at sample barriers plus the per-window row reads.
 ``--assert-timeline-overhead PCT`` gates it (CI budget: 15).
 
+``--backend NAME`` adds a fifth measurement: one small server run on
+that RX datapath (``repro.datapath``), recording wall seconds and
+simulated events/sec under ``datapath_backends`` — the spin-chunked
+busy-poll loop is the event-rate stress case worth tracking across PRs.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py [--out PATH]
         [--rounds N] [--assert-overhead PCT]
         [--assert-sanitize-overhead PCT]
         [--assert-timeline-overhead PCT]
+        [--backend NAME ...]
 """
 
 from __future__ import annotations
@@ -111,6 +117,27 @@ def _time_server(timeline: bool, duration_ms: int = 100) -> float:
     return time.perf_counter() - t0
 
 
+def _time_backend(datapath: str, duration_ms: int = 100) -> dict:
+    """Wall seconds + kernel event rate of one run on ``datapath``."""
+    from repro.system import ServerConfig, ServerSystem
+    from repro.units import MS
+
+    governor = {"poll": "performance", "nmap-hybrid": "nmap"}.get(
+        datapath, "ondemand")
+    config = ServerConfig(app="memcached", load_level="medium",
+                          freq_governor=governor, n_cores=2,
+                          datapath=datapath)
+    system = ServerSystem(config)
+    t0 = time.perf_counter()
+    result = system.run(duration_ms * MS)
+    wall_s = time.perf_counter() - t0
+    return {"wall_seconds": round(wall_s, 4),
+            "events_fired": result.perf.events_fired,
+            "events_per_sec": round(result.perf.events_fired / wall_s)
+            if wall_s > 0 else 0,
+            "completed": result.completed}
+
+
 def _best(passes: list) -> dict:
     return max(passes, key=lambda p: p["sim_events_per_sec"])
 
@@ -135,6 +162,10 @@ def main(argv=None) -> int:
                         help="fail if the timeline-sampled server run is "
                              "more than PCT%% slower than the unsampled "
                              "one (CI budget: 15)")
+    parser.add_argument("--backend", action="append", default=None,
+                        metavar="NAME",
+                        help="also time one small server run on this RX "
+                             "datapath (repeatable; e.g. --backend poll)")
     parser.add_argument("--out", type=Path,
                         default=Path(__file__).resolve().parent.parent
                         / "BENCH_eventloop.json",
@@ -175,6 +206,15 @@ def main(argv=None) -> int:
         "sanitizer_overhead_pct": round(sanitize_overhead_pct, 2),
         "timeline_overhead_pct": round(timeline_overhead_pct, 2),
     }
+    if args.backend:
+        backends = {}
+        for name in args.backend:
+            passes = [_time_backend(name) for _ in range(args.passes)]
+            backends[name] = min(passes, key=lambda p: p["wall_seconds"])
+            print(f"backend {name}: {backends[name]['events_per_sec']:,} "
+                  f"events/s ({backends[name]['wall_seconds']}s wall, "
+                  f"best of {args.passes})")
+        record["datapath_backends"] = backends
     record["best"]["sim_events_per_sec"] = round(
         base["sim_events_per_sec"])
     args.out.write_text(json.dumps(record, indent=2) + "\n")

@@ -1,0 +1,27 @@
+"""Name-based RX backend construction (``ServerConfig.datapath``)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.datapath.metronome import MetronomeBackend, NmapHybridBackend
+from repro.datapath.napi import NapiRxBackend
+from repro.datapath.pollmode import PollModeBackend
+
+#: RX datapath backends constructible by name.
+RX_BACKENDS: Dict[str, Callable] = {
+    "napi": NapiRxBackend,
+    "poll": PollModeBackend,
+    "metronome": MetronomeBackend,
+    "nmap-hybrid": NmapHybridBackend,
+}
+
+
+def make_rx_backend(name: str, stack, **params):
+    """Instantiate (without building) the RX backend ``name``."""
+    try:
+        cls = RX_BACKENDS[name]
+    except KeyError:
+        raise ValueError(f"unknown datapath {name!r}; "
+                         f"known: {sorted(RX_BACKENDS)}") from None
+    return cls(stack, **params)

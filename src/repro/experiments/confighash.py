@@ -28,7 +28,7 @@ import numpy as np
 
 #: Version of the simulation model semantics. Part of every cache key and
 #: the on-disk cache namespace; bump on any change that alters RunResults.
-MODEL_VERSION = "2026.08-pr7"
+MODEL_VERSION = "2026.08-pr8"
 
 
 def canonicalize(value: Any) -> Any:

@@ -3,7 +3,10 @@
 Shapes to reproduce (Sec. 6.3): NMAP consumes less than NCAP at every
 load (paper: 4.2-9% memcached, 11-14.7% nginx) — NMAP is per-core and
 falls back as soon as the polling ratio decays, while NCAP boosts all
-cores from NIC-aggregate load and decays gradually.
+cores from NIC-aggregate load and decays gradually. A DPDK-style
+busy-poll point (``repro.datapath``) shows the energy bill of the
+fig14 latency floor: spinning poll cores never enter C-states, so the
+bypass baseline sits above every DVFS governor at every load.
 """
 
 from __future__ import annotations
@@ -25,8 +28,10 @@ def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
     results = run_grid(FIG14_GOVERNORS, ("menu",), scale)
     perf = run_grid(("performance",), ("menu",), scale)
     results.update(perf)
+    # Separate dict: same grid key as the kernel-path performance cell.
+    bypass = run_grid(("performance",), ("menu",), scale, datapath="poll")
     headers = (["app", "load"] + [f"E({g})" for g in FIG14_GOVERNORS]
-               + ["nmap vs ncap (%)", "paper (%)"])
+               + ["E(busy-poll)", "nmap vs ncap (%)", "paper (%)"])
     rows = []
     norm = {}
     for app in ("memcached", "nginx"):
@@ -35,12 +40,15 @@ def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
             for governor in FIG14_GOVERNORS:
                 norm[(app, level, governor)] = \
                     results[(app, level, governor, "menu")].energy_j / base
+            norm[(app, level, "busy-poll")] = \
+                bypass[(app, level, "performance", "menu")].energy_j / base
             vs_ncap = 100 * (1 - norm[(app, level, "nmap")]
                              / norm[(app, level, "ncap")])
             rows.append([app, level]
                         + [round(norm[(app, level, g)], 3)
                            for g in FIG14_GOVERNORS]
-                        + [round(vs_ncap, 1),
+                        + [round(norm[(app, level, "busy-poll")], 3),
+                           round(vs_ncap, 1),
                            PAPER_NMAP_VS_NCAP[(app, level)]])
     expectations = {
         "nmap uses less energy than ncap at every load": all(
@@ -49,6 +57,9 @@ def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
         "ncap-menu ~ ncap energy (within 10%)": all(
             abs(norm[(a, l, "ncap-menu")] - norm[(a, l, "ncap")])
             < 0.10 * norm[(a, l, "ncap")]
+            for a in ("memcached", "nginx") for l in LOAD_LEVELS),
+        "busy-poll uses more energy than nmap at every load": all(
+            norm[(a, l, "busy-poll")] > norm[(a, l, "nmap")]
             for a in ("memcached", "nginx") for l in LOAD_LEVELS),
     }
     return ExperimentResult(

@@ -33,30 +33,38 @@ def cell_config(app: str, level: str, governor: str, sleep: str,
                 scale: ExperimentScale,
                 fault_plan: Optional[FaultPlan] = None,
                 retry: Optional[RetryPolicy] = None,
-                timeline: Optional[TimelineConfig] = None) -> ServerConfig:
+                timeline: Optional[TimelineConfig] = None,
+                datapath: str = "napi",
+                datapath_params: Optional[dict] = None) -> ServerConfig:
     """The configuration of one grid cell.
 
     ``fault_plan``/``retry``/``timeline`` overlay a fault scenario
     (``repro.faults``), a client retry policy, and windowed timeline
-    sampling (``repro.obs.timeline``) on the cell; all default to off,
-    which keeps the classic grid's configurations (and cache keys)
-    unchanged.
+    sampling (``repro.obs.timeline``) on the cell; ``datapath`` selects
+    the RX backend (``repro.datapath``). All default to off / the
+    kernel NAPI path, which keeps the classic grid's configurations
+    (and cache keys) unchanged.
     """
     return ServerConfig(app=app, load_level=level, freq_governor=governor,
                         idle_governor=sleep, n_cores=scale.n_cores,
                         seed=scale.seed, fault_plan=fault_plan,
-                        retry=retry, timeline=timeline)
+                        retry=retry, timeline=timeline,
+                        datapath=datapath,
+                        datapath_params=datapath_params or {})
 
 
 def run_cell(app: str, level: str, governor: str, sleep: str,
              scale: ExperimentScale,
              fault_plan: Optional[FaultPlan] = None,
              retry: Optional[RetryPolicy] = None,
-             timeline: Optional[TimelineConfig] = None) -> RunResult:
+             timeline: Optional[TimelineConfig] = None,
+             datapath: str = "napi",
+             datapath_params: Optional[dict] = None) -> RunResult:
     """Run (or fetch) one grid cell."""
     config = cell_config(app, level, governor, sleep, scale,
                          fault_plan=fault_plan, retry=retry,
-                         timeline=timeline)
+                         timeline=timeline, datapath=datapath,
+                         datapath_params=datapath_params)
     return run_cached(config, scale.duration_ns)
 
 
@@ -65,7 +73,9 @@ def run_grid(governors, sleeps, scale: ExperimentScale,
              workers: Optional[int] = None,
              fault_plan: Optional[FaultPlan] = None,
              retry: Optional[RetryPolicy] = None,
-             timeline: Optional[TimelineConfig] = None
+             timeline: Optional[TimelineConfig] = None,
+             datapath: str = "napi",
+             datapath_params: Optional[dict] = None
              ) -> Dict[GridKey, RunResult]:
     """Run every (app, level, governor, sleep) combination.
 
@@ -83,7 +93,8 @@ def run_grid(governors, sleeps, scale: ExperimentScale,
                            for governor in governors
                            for sleep in sleeps]
     jobs = [(cell_config(*key, scale, fault_plan=fault_plan, retry=retry,
-                         timeline=timeline),
+                         timeline=timeline, datapath=datapath,
+                         datapath_params=datapath_params),
              scale.duration_ns) for key in keys]
     results = parallel.run_many(jobs, workers=workers)
     return dict(zip(keys, results))

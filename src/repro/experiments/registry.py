@@ -11,8 +11,8 @@ from repro.experiments import (fig02_mode_transitions, fig03_response_latency,
                                fig10_nmap_latency, fig11_nmap_cdf,
                                fig12_p99, fig13_energy, fig14_sota_p99,
                                fig15_sota_energy, fig16_changing_load,
-                               fault_resilience, fleet_energy, fleet_scale,
-                               fleet_tail, imbalance, robustness,
+                               datapath_duel, fault_resilience, fleet_energy,
+                               fleet_scale, fleet_tail, imbalance, robustness,
                                slo_calibration, tab01_retransition,
                                tab02_wakeup)
 from repro.experiments.base import QUICK, ExperimentResult, ExperimentScale
@@ -47,6 +47,8 @@ EXPERIMENTS: Dict[str, Callable] = {
     "fleet_scale": fleet_scale.run,
     # Fault injection (repro.faults): governors under degraded operation.
     "fault_resilience": fault_resilience.run,
+    # Kernel-bypass RX backends (repro.datapath) vs the kernel path.
+    "datapath_duel": datapath_duel.run,
 }
 
 

@@ -111,6 +111,9 @@ class NapiContext:
         self.deferrals = 0
         self.pkts_interrupt_mode = 0
         self.pkts_polling_mode = 0
+        #: Completed poll batches (the timeline's generic poll_loops
+        #: column; bypass backends count their bursts the same way).
+        self.poll_count = 0
 
         #: Called as ``listener(napi, n_packets, mode)`` per poll completion
         #: (n_packets counts Rx packets only; mode is MODE_*).
@@ -254,6 +257,7 @@ class NapiContext:
         mode = (MODE_INTERRUPT if self._next_poll_is_interrupt_mode
                 else MODE_POLLING)
         self._next_poll_is_interrupt_mode = False
+        self.poll_count += 1
         if mode == MODE_INTERRUPT:
             self.pkts_interrupt_mode += n
         else:

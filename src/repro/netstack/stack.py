@@ -1,8 +1,10 @@
 """Wiring of the network stack over a processor and a NIC.
 
-Creates, per core: a task scheduler, a ksoftirqd thread, a socket queue,
-and a NAPI context bound to the matching NIC queue (the testbed topology:
-one queue per core, RSS steering flows evenly).
+Creates, per core: a task scheduler and a socket queue, then hands the
+RX side to the configured datapath backend (``repro.datapath``) — by
+default the kernel NAPI path, which adds a ksoftirqd thread and a NAPI
+context bound to the matching NIC queue (the testbed topology: one
+queue per core, RSS steering flows evenly).
 """
 
 from __future__ import annotations
@@ -38,16 +40,30 @@ class StackConfig:
 
 
 class NetworkStack:
-    """Per-core NAPI machinery plus the Tx path back to the client."""
+    """Per-core RX machinery plus the Tx path back to the client.
+
+    The RX side (how packets leave the NIC queues) is pluggable: the
+    ``datapath`` name selects an :class:`~repro.datapath.base.RxBackend`
+    from :mod:`repro.datapath` — the kernel NAPI path by default, or a
+    kernel-bypass backend (busy poll, Metronome sleep&wake). The stack
+    itself owns what every backend shares: per-core task schedulers and
+    socket queues, delivery stamping, and the Tx/ACK path.
+    """
 
     def __init__(self, sim, processor: Processor, nic: MultiQueueNic,
-                 config: Optional[StackConfig] = None):
+                 config: Optional[StackConfig] = None,
+                 datapath: str = "napi",
+                 datapath_params: Optional[dict] = None,
+                 rng=None):
         if nic.n_queues != processor.n_cores:
             raise ValueError("expect one NIC queue per core")
         self.sim = sim
         self.processor = processor
         self.nic = nic
         self.config = config or StackConfig()
+        #: RandomStreams of the run (backends derive private streams);
+        #: optional so bare unit-test stacks need not provide one.
+        self.rng = rng
         #: Span tracing enabled (set by the system builder); guards the
         #: per-packet boundary stamps.
         self.tracing = False
@@ -60,24 +76,22 @@ class NetworkStack:
         self.response_sink_at: Optional[Callable[[Packet, int], None]] = None
 
         self.schedulers: List[CoreScheduler] = []
-        self.ksoftirqds: List[KsoftirqdThread] = []
         self.sockets: List[SocketQueue] = []
+        #: NAPI machinery, populated by the "napi" backend's build();
+        #: empty under kernel-bypass backends (the legacy aggregate
+        #: accessors below then read as zero).
+        self.ksoftirqds: List[KsoftirqdThread] = []
         self.napis: List[NapiContext] = []
         for core in processor.cores:
-            cid = core.core_id
             sched = CoreScheduler(sim, core,
                                   timeslice_ns=self.config.timeslice_ns)
-            ksoftirqd = KsoftirqdThread(cid)
-            sched.add_thread(ksoftirqd)
-            socket = SocketQueue(cid)
-            napi = NapiContext(sim, core, nic, cid, config=self.config.napi,
-                               deliver=self._deliver)
-            ksoftirqd.attach_napi(napi)
-            nic.bind(cid, napi.on_interrupt)
             self.schedulers.append(sched)
-            self.ksoftirqds.append(ksoftirqd)
-            self.sockets.append(socket)
-            self.napis.append(napi)
+            self.sockets.append(SocketQueue(core.core_id))
+        # Imported here: repro.datapath sits above the netstack layer
+        # (its backends import this module's siblings).
+        from repro.datapath.registry import make_rx_backend
+        self.rx = make_rx_backend(datapath, self, **(datapath_params or {}))
+        self.rx.build()
 
     @property
     def response_sink(self) -> Optional[Callable[[Packet], None]]:

@@ -42,6 +42,11 @@ class MultiQueueNic:
         self._handlers: List[Optional[Callable[[int], None]]] = [None] * n_queues
         self._irq_enabled = [True] * n_queues
         self._irq_pending_ev: List[Optional[object]] = [None] * n_queues
+        #: Per-queue RX doorbells (``repro.datapath`` poll-mode backend):
+        #: called synchronously as ``doorbell(qid)`` when a packet lands
+        #: while the queue's interrupt is masked. None until a backend
+        #: arms one, so the interrupt-driven path pays nothing.
+        self._rx_doorbells: Optional[List[Optional[Callable[[int], None]]]] = None
         self.rx_packets = 0
         #: Rx packets that carry a request payload (what NCAP's NIC-level
         #: latency-critical-request filter counts).
@@ -63,6 +68,20 @@ class MultiQueueNic:
     def bind(self, queue_id: int, handler: Callable[[int], None]) -> None:
         """Attach the interrupt handler (NAPI context) for ``queue_id``."""
         self._handlers[queue_id] = handler
+
+    def set_rx_doorbell(self, queue_id: int,
+                        doorbell: Optional[Callable[[int], None]]) -> None:
+        """Arm a synchronous RX-arrival doorbell for ``queue_id``.
+
+        Fired from :meth:`receive` when the queue's interrupt is masked
+        — the hook a poll-mode driver uses to cut an empty-poll spin
+        short the instant work arrives. Fault injectors shadow
+        :meth:`receive` in the instance dict while delegating to the
+        class method, so the doorbell survives fault scenarios.
+        """
+        if self._rx_doorbells is None:
+            self._rx_doorbells = [None] * self.n_queues
+        self._rx_doorbells[queue_id] = doorbell
 
     # ------------------------------------------------------------------ #
     # Rx path
@@ -91,6 +110,10 @@ class MultiQueueNic:
         # so one batched irq event serves N arrivals (moderation + NAPI).
         if self._irq_enabled[qid] and self._irq_pending_ev[qid] is None:
             self._maybe_raise_irq(qid)
+        elif self._rx_doorbells is not None:
+            doorbell = self._rx_doorbells[qid]
+            if doorbell is not None:
+                doorbell(qid)
         return True
 
     def _maybe_raise_irq(self, qid: int) -> None:

@@ -52,10 +52,16 @@ __all__ = [
 #: Per-node series, in row order. Counters ("sent" .. "pstate_changes",
 #: "energy_j") are per-window deltas; "p99_ns" is the window's completed
 #: latencies' 99th percentile (0 when none completed); "power_w" /
-#: "busy_frac" are window averages.
+#: "busy_frac" are window averages. The four ``pkts_*`` columns are the
+#: per-backend datapath accounting modes (``repro.datapath``): NAPI
+#: fills interrupt/polling, busy-poll fills busy_poll, Metronome fills
+#: intermittent/polling; "poll_loops"/"sleep_wakes" count retrieval
+#: batches and timer wakes the same way for every backend.
 NODE_SERIES = ("sent", "completed", "dropped", "timed_out", "retries",
                "gave_up", "p99_ns", "power_w", "energy_j", "busy_frac",
-               "pkts_interrupt", "pkts_polling", "pstate_changes")
+               "pkts_interrupt", "pkts_polling", "pkts_busy_poll",
+               "pkts_intermittent", "poll_loops", "sleep_wakes",
+               "pstate_changes")
 
 #: Fleet-level series (``drive_lockstep`` counters, per-window deltas).
 FLEET_SERIES = ("dispatched", "windows", "strides")
@@ -254,7 +260,7 @@ class TimelineSampler:
         self._prev_counts = (0, 0, 0, 0, 0)  # sent..gave_up
         self._prev_energy_j = 0.0
         self._prev_busy_ns = 0
-        self._prev_pkts = (0, 0)
+        self._prev_datapath = (0,) * 6  # TIMELINE_MODES + loops/wakes
         self._prev_flips = 0
 
     def sample(self, t_ns: int) -> Tuple[float, ...]:
@@ -290,21 +296,21 @@ class TimelineSampler:
         busy_frac = (d_busy / (n_cores * dt_ns)
                      if dt_ns > 0 and n_cores else 0.0)
 
-        pkts = (sum(n.pkts_interrupt_mode for n in system.stack.napis),
-                sum(n.pkts_polling_mode for n in system.stack.napis))
-        d_pkts_i = pkts[0] - self._prev_pkts[0]
-        d_pkts_p = pkts[1] - self._prev_pkts[1]
-        self._prev_pkts = pkts
+        datapath = system.datapath.timeline_counts()
+        d_datapath = tuple(c - p for c, p in zip(datapath,
+                                                 self._prev_datapath))
+        self._prev_datapath = datapath
 
         flips = sum(core.pstate_changes
                     for core in system.processor.cores)
         d_flips = flips - self._prev_flips
         self._prev_flips = flips
 
-        return (float(d_sent), float(completed), float(d_dropped),
-                float(d_timed_out), float(d_retries), float(d_gave_up),
-                p99_ns, power_w, d_energy_j, busy_frac,
-                float(d_pkts_i), float(d_pkts_p), float(d_flips))
+        return ((float(d_sent), float(completed), float(d_dropped),
+                 float(d_timed_out), float(d_retries), float(d_gave_up),
+                 p99_ns, power_w, d_energy_j, busy_frac)
+                + tuple(float(d) for d in d_datapath)
+                + (float(d_flips),))
 
 
 class TimelineDriver:

@@ -40,6 +40,7 @@ from repro.metrics.energy import EnergySummary
 from repro.metrics.latency import LatencyStats
 from repro.metrics.slo import SloResult, check_slo
 from repro.nic.nic import MultiQueueNic
+from repro.netstack.napi import MODE_INTERRUPT, MODE_POLLING
 from repro.netstack.stack import NetworkStack, StackConfig
 from repro.obs.registry import TelemetryRegistry
 from repro.obs.span import STAGES, SpanLog
@@ -131,6 +132,14 @@ class ServerConfig:
     #: samples nothing and the run is bit-identical to one on a build
     #: without timeline support.
     timeline: Optional[TimelineConfig] = None
+    #: RX datapath backend: "napi" (the kernel path, default), "poll"
+    #: (DPDK-style dedicated busy-poll cores), "metronome" (sleep&wake
+    #: intermittent retrieval), or "nmap-hybrid" (Metronome driven by
+    #: the NMAP mode signal). See ``repro.datapath`` / docs/DATAPATH.md.
+    datapath: str = "napi"
+    #: Keyword parameters for the backend constructor (burst sizes,
+    #: sleep bounds, poll-core count, ...; backend-specific).
+    datapath_params: dict = field(default_factory=dict)
 
     def with_overrides(self, **kwargs) -> "ServerConfig":
         """A copy with fields replaced (convenience for sweeps)."""
@@ -167,6 +176,14 @@ class RunResult:
     #: Windowed time-series of the run (``repro.obs.timeline``); None
     #: when ``config.timeline`` is unset.
     timeline: Optional[TimelineResult] = None
+    #: Rx packets per datapath accounting mode (the generalized form of
+    #: the two legacy fields above: NAPI bins "interrupt"/"polling",
+    #: busy-poll bins "busy-poll", Metronome "intermittent"/"polling").
+    datapath_pkts: Optional[Dict[str, int]] = None
+    #: Completed poll/retrieval batches across cores (all backends).
+    poll_loops: int = 0
+    #: Timer-driven retrieval wakes (Metronome-family backends only).
+    sleep_wakes: int = 0
 
     def latency_stats(self) -> LatencyStats:
         """Percentile summary of completed-request latencies."""
@@ -224,13 +241,20 @@ class ServerSystem:
         if not config.batch_events and stack_config.batch_acks:
             stack_config = replace(stack_config, batch_acks=False)
         self.stack = NetworkStack(self.sim, self.processor, self.nic,
-                                  config=stack_config)
+                                  config=stack_config,
+                                  datapath=config.datapath,
+                                  datapath_params=config.datapath_params,
+                                  rng=self.rng)
+        #: The RX datapath backend (``repro.datapath``): how packets
+        #: leave the NIC queues and on which cores that work is charged.
+        self.datapath = self.stack.rx
 
-        # Application: one worker thread pinned per core.
+        # Application: one worker thread pinned per core the datapath
+        # leaves to the application (busy-poll backends reserve cores).
         self.app = make_app(config.app, self.rng.stream("app"),
                             **config.app_params)
         self.workers: List[AppWorkerThread] = []
-        for cid in range(config.n_cores):
+        for cid in self.datapath.worker_core_ids():
             worker = AppWorkerThread(self.app, cid,
                                      self.stack.sockets[cid], self.stack)
             self.stack.schedulers[cid].add_thread(worker)
@@ -260,8 +284,7 @@ class ServerSystem:
             # untraced hot paths carry no per-packet checks.
             self.nic.tracing = True
             self.stack.tracing = True
-            for napi in self.stack.napis:
-                napi.tracing = True
+            self.datapath.set_tracing(True)
         self.stack.response_sink = self.client.on_response
         if config.batch_events:
             # The open-loop client is a pure recorder: let the NIC notify
@@ -296,6 +319,10 @@ class ServerSystem:
             for cid, engine in enumerate(engines):
                 self.idle_governor.register_engine(cid, engine)
 
+        # Late backend hook: nmap-hybrid grabs the per-core decision
+        # engines it couples the sleep interval to (no-op otherwise).
+        self.datapath.bind_governors(self.freq_governors)
+
         if config.trace:
             self._wire_trace_probes()
 
@@ -328,8 +355,8 @@ class ServerSystem:
                           or DEFAULT_NMAP_THRESHOLDS[cfg.app])
             for cid in range(cfg.n_cores):
                 self.freq_governors.append(NmapGovernor(
-                    self.sim, self.processor, cid, self.stack.napis[cid],
-                    thresholds,
+                    self.sim, self.processor, cid,
+                    self.datapath.mode_source(cid), thresholds,
                     trace=self.trace if cfg.trace else None, **params))
         elif name == "nmap-adaptive":
             from repro.core.adaptive import AdaptiveNmapGovernor
@@ -337,8 +364,8 @@ class ServerSystem:
                           or DEFAULT_NMAP_THRESHOLDS[cfg.app])
             for cid in range(cfg.n_cores):
                 self.freq_governors.append(AdaptiveNmapGovernor(
-                    self.sim, self.processor, cid, self.stack.napis[cid],
-                    thresholds,
+                    self.sim, self.processor, cid,
+                    self.datapath.mode_source(cid), thresholds,
                     trace=self.trace if cfg.trace else None, **params))
         elif name in ("per-request-dvfs", "per-request-dvfs-ideal"):
             from repro.baselines.per_request import PerRequestDvfsManager
@@ -347,6 +374,10 @@ class ServerSystem:
                 slo_ns=self.app.slo_ns,
                 ideal_transitions=name.endswith("ideal"), **params)
         elif name == "nmap-simpl":
+            if not self.stack.ksoftirqds:
+                raise ValueError(
+                    "freq_governor='nmap-simpl' reads ksoftirqd wake "
+                    "signals; it requires datapath='napi'")
             for cid in range(cfg.n_cores):
                 self.freq_governors.append(NmapSimplGovernor(
                     self.sim, self.processor, cid, self.stack.ksoftirqds[cid],
@@ -374,16 +405,7 @@ class ServerSystem:
                 f"{sorted(FREQ_GOVERNORS) + list(MANAGED_GOVERNORS)}")
 
     def _wire_trace_probes(self) -> None:
-        for cid, napi in enumerate(self.stack.napis):
-            def on_poll(napi_, n, mode, cid=cid):
-                if n:
-                    self.trace.record(f"core{cid}.pkts_{mode}",
-                                      self.sim.now, n)
-            napi.poll_listeners.append(on_poll)
-        for cid, ksoftirqd in enumerate(self.stack.ksoftirqds):
-            ksoftirqd.wake_listeners.append(
-                lambda t, cid=cid: self.trace.record(
-                    f"core{cid}.ksoftirqd_wake", self.sim.now, 1))
+        self.datapath.wire_trace_probes(self.trace)
 
     def _collect_telemetry(self, perf: PerfSnapshot,
                            latencies_ns: np.ndarray) -> TelemetryRegistry:
@@ -432,28 +454,10 @@ class ServerSystem:
         reg.counter("nic_tx_packets_total", "Packets transmitted",
                     subsystem="nic").inc(nic.tx_packets)
 
-        # Per-core network stack: NAPI, ksoftirqd, sockets.
-        for cid, napi in enumerate(self.stack.napis):
-            core = str(cid)
-            reg.counter("napi_interrupts_total", "Hardware interrupts taken",
-                        subsystem="netstack", core=core).inc(napi.irq_count)
-            reg.counter("napi_sessions_total", "NAPI softirq sessions",
-                        subsystem="netstack", core=core).inc(napi.sessions)
-            reg.counter("napi_deferrals_total", "Deferrals to ksoftirqd",
-                        subsystem="netstack", core=core).inc(napi.deferrals)
-            reg.counter("napi_pkts_total", "Rx packets by processing mode",
-                        subsystem="netstack", core=core,
-                        mode="interrupt").inc(napi.pkts_interrupt_mode)
-            reg.counter("napi_pkts_total", subsystem="netstack", core=core,
-                        mode="polling").inc(napi.pkts_polling_mode)
-        for cid, ksoftirqd in enumerate(self.stack.ksoftirqds):
-            core = str(cid)
-            reg.counter("ksoftirqd_wakeups_total", "ksoftirqd thread wakes",
-                        subsystem="netstack", core=core).inc(
-                            ksoftirqd.wake_count)
-            reg.counter("ksoftirqd_batches_total", "Deferred poll batches run",
-                        subsystem="netstack", core=core).inc(
-                            ksoftirqd.batches_run)
+        # Per-core RX datapath: the backend emits its own counters (the
+        # NAPI backend keeps the classic napi_*/ksoftirqd_* series, and
+        # every backend adds generalized datapath_pkts_total modes).
+        self.datapath.register_into(reg)
         for cid, socket in enumerate(self.stack.sockets):
             core = str(cid)
             reg.counter("socket_delivered_total", "Packets delivered upward",
@@ -531,6 +535,11 @@ class ServerSystem:
 
     def _start_power(self) -> None:
         """Start the periodic power-management machinery."""
+        # The datapath's run-time machinery (poll threads, retrieval
+        # timers) starts with it; no-op for the interrupt-driven path.
+        # It deliberately has no stop: retrieval must keep running
+        # through the drain window or in-flight requests never finish.
+        self.datapath.start()
         for gov in self.freq_governors:
             gov.start()
         if self.manager is not None:
@@ -571,6 +580,7 @@ class ServerSystem:
         telemetry = self._collect_telemetry(perf, latencies_ns)
         if timeline is not None:
             timeline.register_into(telemetry)
+        mode_counts = self.datapath.mode_counts()
 
         return RunResult(
             config=self.config,
@@ -583,13 +593,16 @@ class ServerSystem:
             energy=energy,
             slo_ns=self.app.slo_ns,
             trace=self.trace,
-            pkts_interrupt_mode=self.stack.total_pkts_interrupt_mode(),
-            pkts_polling_mode=self.stack.total_pkts_polling_mode(),
-            ksoftirqd_wakeups=self.stack.total_ksoftirqd_wakeups(),
+            pkts_interrupt_mode=mode_counts.get(MODE_INTERRUPT, 0),
+            pkts_polling_mode=mode_counts.get(MODE_POLLING, 0),
+            ksoftirqd_wakeups=self.datapath.ksoftirqd_wakeups(),
             perf=perf,
             telemetry=telemetry,
             spans=self.spans,
-            timeline=timeline)
+            timeline=timeline,
+            datapath_pkts=mode_counts,
+            poll_loops=self.datapath.poll_loops(),
+            sleep_wakes=self.datapath.sleep_wakes())
 
     def _run_sampled(self, duration_ns: int) -> TimelineResult:
         """Advance to ``duration_ns`` in timeline sample windows.
