@@ -33,13 +33,19 @@ that RX datapath (``repro.datapath``), recording wall seconds and
 simulated events/sec under ``datapath_backends`` — the spin-chunked
 busy-poll loop is the event-rate stress case worth tracking across PRs.
 
+``--assert-analysis-time SECONDS`` adds a sixth: one cold run of the
+interprocedural flow engine (:mod:`repro.analysis.flow`) over all of
+``src/repro`` — parse, index, fixpoint, report. The gate keeps the
+CI analysis job interactive-fast (budget: 30 s; the dev container
+measures ~2 s) and catches a fixpoint that stops converging.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py [--out PATH]
         [--rounds N] [--assert-overhead PCT]
         [--assert-sanitize-overhead PCT]
         [--assert-timeline-overhead PCT]
-        [--backend NAME ...]
+        [--backend NAME ...] [--assert-analysis-time SECONDS]
 """
 
 from __future__ import annotations
@@ -166,6 +172,11 @@ def main(argv=None) -> int:
                         metavar="NAME",
                         help="also time one small server run on this RX "
                              "datapath (repeatable; e.g. --backend poll)")
+    parser.add_argument("--assert-analysis-time", type=float,
+                        default=None, metavar="SECONDS",
+                        help="time one cold interprocedural flow "
+                             "analysis of src/repro and fail if it "
+                             "takes longer than SECONDS (CI budget: 30)")
     parser.add_argument("--out", type=Path,
                         default=Path(__file__).resolve().parent.parent
                         / "BENCH_eventloop.json",
@@ -215,6 +226,17 @@ def main(argv=None) -> int:
                   f"events/s ({backends[name]['wall_seconds']}s wall, "
                   f"best of {args.passes})")
         record["datapath_backends"] = backends
+    analysis_seconds = None
+    if args.assert_analysis_time is not None:
+        from repro.analysis.flow import analyze_paths
+        src = Path(__file__).resolve().parent.parent / "src" / "repro"
+        start = time.perf_counter()
+        report = analyze_paths([src], rel_to=src.parent)
+        analysis_seconds = time.perf_counter() - start
+        record["flow_analysis_seconds"] = round(analysis_seconds, 3)
+        record["flow_analysis_files"] = report.files_scanned
+        print(f"flow analysis: {report.files_scanned} files in "
+              f"{analysis_seconds:.2f}s")
     record["best"]["sim_events_per_sec"] = round(
         base["sim_events_per_sec"])
     args.out.write_text(json.dumps(record, indent=2) + "\n")
@@ -240,6 +262,12 @@ def main(argv=None) -> int:
             and timeline_overhead_pct > args.assert_timeline_overhead:
         print(f"FAIL: timeline overhead {timeline_overhead_pct:.1f}% "
               f"exceeds the {args.assert_timeline_overhead:.1f}% budget",
+              file=sys.stderr)
+        return 1
+    if analysis_seconds is not None \
+            and analysis_seconds > args.assert_analysis_time:
+        print(f"FAIL: flow analysis took {analysis_seconds:.1f}s, "
+              f"budget is {args.assert_analysis_time:.0f}s",
               file=sys.stderr)
         return 1
     return 0

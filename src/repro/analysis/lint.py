@@ -47,11 +47,15 @@ Run ``python -m repro.analysis lint [--strict] [--json PATH] [paths]``;
 from __future__ import annotations
 
 import ast
-import json
-import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.common import (Finding, ImportMap, Report,
+                                   apply_suppressions, iter_python_files)
+
+__all__ = ["RULES", "PERF_COUNTER_ALLOWLIST", "Finding", "LintReport",
+           "lint_file", "lint_paths", "iter_python_files"]
 
 #: Rule id -> one-line meaning (stable: the JSON report embeds these).
 RULES: Dict[str, str] = {
@@ -102,78 +106,11 @@ _SCHEDULE_NAMES = frozenset({"schedule", "schedule_at", "push"})
 #: Time-unit constants from repro.units (ns-denominated).
 _UNIT_NAMES = frozenset({"NS", "US", "MS", "S"})
 
-_ALLOW_RE = re.compile(
-    r"#\s*repro:\s*allow\[([A-Z]\d{3}(?:\s*,\s*[A-Z]\d{3})*)\]"
-    r"(?:\s*--\s*(\S.*))?")
-
-
 @dataclass
-class Finding:
-    """One rule violation at one source location."""
+class LintReport(Report):
+    """A :class:`~repro.analysis.common.Report` carrying the lint rules."""
 
-    rule: str
-    path: str
-    line: int
-    col: int
-    message: str
-    suppressed: bool = False
-    justification: Optional[str] = None
-
-    def sort_key(self) -> Tuple[str, int, int, str]:
-        return (self.path, self.line, self.col, self.rule)
-
-    def render(self) -> str:
-        mark = " (suppressed)" if self.suppressed else ""
-        return (f"{self.path}:{self.line}:{self.col}: "
-                f"{self.rule} {self.message}{mark}")
-
-    def to_dict(self) -> dict:
-        return {"rule": self.rule, "path": self.path, "line": self.line,
-                "col": self.col, "message": self.message,
-                "suppressed": self.suppressed,
-                "justification": self.justification}
-
-
-@dataclass
-class LintReport:
-    """Findings over a set of files, plus enough context to gate CI."""
-
-    findings: List[Finding]
-    files_scanned: int
-
-    def active(self) -> List[Finding]:
-        """Findings that are not suppressed (these fail ``--strict``)."""
-        return [f for f in self.findings if not f.suppressed]
-
-    def by_rule(self) -> Dict[str, int]:
-        counts: Dict[str, int] = {}
-        for finding in self.findings:
-            counts[finding.rule] = counts.get(finding.rule, 0) + 1
-        return dict(sorted(counts.items()))
-
-    def to_json(self) -> str:
-        payload = {
-            "version": 1,
-            "files_scanned": self.files_scanned,
-            "rules": RULES,
-            "summary": {
-                "findings": len(self.findings),
-                "active": len(self.active()),
-                "suppressed": len(self.findings) - len(self.active()),
-                "by_rule": self.by_rule(),
-            },
-            "findings": [f.to_dict() for f in self.findings],
-        }
-        return json.dumps(payload, indent=2, sort_keys=False) + "\n"
-
-    def render_text(self) -> str:
-        lines = [f.render() for f in self.findings]
-        active = len(self.active())
-        lines.append(f"{self.files_scanned} files scanned, "
-                     f"{len(self.findings)} findings "
-                     f"({active} active, "
-                     f"{len(self.findings) - active} suppressed)")
-        return "\n".join(lines)
+    rules: Dict[str, str] = field(default_factory=lambda: dict(RULES))
 
 
 # --------------------------------------------------------------------- #
@@ -194,9 +131,9 @@ class _FileLinter(ast.NodeVisitor):
         self.path = path
         self.perf_allowed = perf_allowed
         self.findings: List[Finding] = []
-        #: alias -> dotted origin ("np" -> "numpy",
-        #: "perf_counter" -> "time.perf_counter").
-        self.imports: Dict[str, str] = {}
+        #: Alias resolution ("np" -> "numpy", "perf_counter" ->
+        #: "time.perf_counter"); shared with the flow engine.
+        self.imports = ImportMap()
         self.scopes: List[_Scope] = [_Scope()]
 
     # -- bookkeeping --------------------------------------------------- #
@@ -207,37 +144,16 @@ class _FileLinter(ast.NodeVisitor):
             col=node.col_offset, message=message))
 
     def visit_Import(self, node: ast.Import) -> None:
-        for alias in node.names:
-            self.imports[alias.asname or alias.name.split(".")[0]] = \
-                alias.name
+        self.imports.add_import(node)
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        if node.module:
-            for alias in node.names:
-                self.imports[alias.asname or alias.name] = \
-                    f"{node.module}.{alias.name}"
+        self.imports.add_import_from(node)
         self.generic_visit(node)
 
     def _dotted(self, func: ast.AST) -> Optional[str]:
-        """Resolve a call target to a dotted origin through the imports.
-
-        ``t.time()`` after ``import time as t`` -> ``"time.time"``;
-        ``perf_counter()`` after ``from time import perf_counter`` ->
-        ``"time.perf_counter"``. Attribute chains rooted in anything
-        other than an imported module resolve to None — method calls on
-        local objects never alias stdlib modules here.
-        """
-        parts: List[str] = []
-        while isinstance(func, ast.Attribute):
-            parts.append(func.attr)
-            func = func.value
-        if not isinstance(func, ast.Name):
-            return None
-        origin = self.imports.get(func.id)
-        if origin is None:
-            return None
-        return ".".join([origin] + list(reversed(parts)))
+        """Resolve a call target through the imports (see ImportMap)."""
+        return self.imports.dotted(func)
 
     # -- D003 / D004 helpers ------------------------------------------ #
 
@@ -407,7 +323,7 @@ class _FileLinter(ast.NodeVisitor):
                 for side in (node.left, node.right):
                     if isinstance(side, ast.Name) and \
                             side.id in _UNIT_NAMES and \
-                            self.imports.get(side.id, "").startswith(
+                            self.imports.origin(side.id).startswith(
                                 "repro.units"):
                         return True
             return (self._is_unit_expr(node.left)
@@ -468,40 +384,6 @@ class _FileLinter(ast.NodeVisitor):
 
 
 # --------------------------------------------------------------------- #
-# Suppressions
-# --------------------------------------------------------------------- #
-
-def _apply_suppressions(findings: List[Finding], source: str,
-                        path: str) -> List[Finding]:
-    """Mark findings allowed by their line's pragma; flag bare pragmas.
-
-    A pragma without a ``-- justification`` is itself a finding
-    (``S001``): the whole point of an allowlist entry is the recorded
-    *why*.
-    """
-    allows: Dict[int, Tuple[set, Optional[str]]] = {}
-    for lineno, text in enumerate(source.splitlines(), start=1):
-        match = _ALLOW_RE.search(text)
-        if match:
-            rules = {r.strip() for r in match.group(1).split(",")}
-            allows[lineno] = (rules, match.group(2))
-    for finding in findings:
-        entry = allows.get(finding.line)
-        if entry and finding.rule in entry[0]:
-            finding.suppressed = True
-            finding.justification = entry[1]
-    out = list(findings)
-    for lineno, (rules, justification) in sorted(allows.items()):
-        if justification is None:
-            out.append(Finding(
-                rule="S001", path=path, line=lineno, col=0,
-                message=f"suppression of {','.join(sorted(rules))} "
-                        f"carries no justification (write "
-                        f"'# repro: allow[RULE] -- why')"))
-    return out
-
-
-# --------------------------------------------------------------------- #
 # Entry points
 # --------------------------------------------------------------------- #
 
@@ -522,18 +404,7 @@ def lint_file(path: Path, rel_to: Optional[Path] = None) -> List[Finding]:
                         message=f"syntax error: {exc.msg}")]
     linter = _FileLinter(display, perf_allowed=_perf_allowed(path))
     linter.visit(tree)
-    return _apply_suppressions(linter.findings, source, display)
-
-
-def iter_python_files(paths: Iterable[Path]) -> List[Path]:
-    """Expand files/directories into a sorted list of ``.py`` files."""
-    out: List[Path] = []
-    for path in paths:
-        if path.is_dir():
-            out.extend(sorted(path.rglob("*.py")))
-        elif path.suffix == ".py":
-            out.append(path)
-    return out
+    return apply_suppressions(linter.findings, source, display)
 
 
 def lint_paths(paths: Sequence[Path],

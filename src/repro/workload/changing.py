@@ -29,7 +29,7 @@ def make_changing_load(profile: WorkloadProfile, duration_ns: int,
         raise ValueError("durations must be positive")
     if len(level_names) < 2:
         raise ValueError("need at least two levels to change between")
-    rng = rng or np.random.default_rng(0)
+    rng = rng or np.random.default_rng(0)  # repro: allow[D002] -- ad-hoc fallback; experiments pass a derived stream
     segments = []
     t = 0
     previous = None

@@ -1,0 +1,26 @@
+"""Flow D002 corpus: seed provenance, not seed text.
+
+``boot()`` passes a constant through a local and a parameter before it
+reaches ``Random`` — no call text mentions a deriver, and no dataflow
+reaches one either. The second case leaves a seed-sinking parameter at
+a non-derived default.
+"""
+
+import random
+
+
+def make_stream(seed):
+    return random.Random(seed)
+
+
+def boot():
+    chosen = 12345
+    return make_stream(chosen)
+
+
+def make_default_stream(seed=7):
+    return random.Random(seed)
+
+
+def boot_default():
+    return make_default_stream()

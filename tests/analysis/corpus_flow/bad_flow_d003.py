@@ -1,0 +1,15 @@
+"""Flow D003 corpus: a set laundered through a helper into the kernel.
+
+The intraprocedural linter cannot see this — the set is built in one
+function, returned, wrapped in ``list()`` (which changes the container
+but not the hash order), and only then iterated into the scheduler.
+"""
+
+
+def pending_cores(sleepers):
+    return set(sleepers)
+
+
+def wake_all(sim, sleepers):
+    for core in list(pending_cores(sleepers)):
+        sim.schedule(0, core)

@@ -1,0 +1,17 @@
+"""Flow D004 corpus: hash-ordered float accumulation via a parameter.
+
+The accumulating loop lives in a helper; the unordered collection is
+built by the caller. Neither function is wrong in isolation — the flow
+between them is.
+"""
+
+
+def total_power(readings):
+    total = 0.0
+    for value in readings:
+        total += value
+    return total
+
+
+def fleet_power(per_core_w):
+    return total_power(set(per_core_w))

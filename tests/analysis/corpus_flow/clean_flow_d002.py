@@ -1,0 +1,24 @@
+"""Clean counterpart of bad_flow_d002: provenance reaches a deriver.
+
+A textual rule would flag ``random.Random(stream_seed)`` — the call
+mentions no deriver. The dataflow does: ``stream_seed`` came out of
+``derive_stream``, through a local and a parameter. The pragma case
+documents the one sanctioned escape for a genuinely constant seed.
+"""
+
+import random
+
+from repro.sim.rng import derive_stream
+
+
+def make_stream(stream_seed):
+    return random.Random(stream_seed)
+
+
+def boot(config_seed):
+    derived = derive_stream(config_seed, "boot")
+    return make_stream(derived)
+
+
+def boot_fixture():
+    return random.Random(0xFEED)  # repro: allow[D002] -- fixture stream; never used by experiments

@@ -1,0 +1,25 @@
+"""Clean counterpart of bad_flow_d003: sorted before the kernel.
+
+Both directions of the interprocedural fix: a helper-returned set that
+is sorted at the call site, and a set handed to a helper that sorts it
+before scheduling (the case a local-only rule would false-positive on
+if it tracked names into calls textually).
+"""
+
+
+def pending_cores(sleepers):
+    return set(sleepers)
+
+
+def wake_all(sim, sleepers):
+    for core in sorted(pending_cores(sleepers)):
+        sim.schedule(0, core)
+
+
+def drain(sim, ready):
+    for core in sorted(ready):
+        sim.schedule(0, core)
+
+
+def kick(sim, sleepers):
+    drain(sim, set(sleepers))

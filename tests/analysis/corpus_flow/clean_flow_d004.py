@@ -1,0 +1,12 @@
+"""Clean counterpart of bad_flow_d004: deterministic order in."""
+
+
+def total_power(readings):
+    total = 0.0
+    for value in readings:
+        total += value
+    return total
+
+
+def fleet_power(per_core_w):
+    return total_power(sorted(set(per_core_w)))

@@ -1,0 +1,1 @@
+"""H-rule corpus: a config class whose hash registry drifted."""

@@ -1,0 +1,10 @@
+"""The config dataclass: three fields, one of them vestigial."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BadPkgConfig:
+    rate_hz: int = 10
+    burst: int = 1
+    debug_label: str = ""

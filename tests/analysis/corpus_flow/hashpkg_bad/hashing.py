@@ -1,0 +1,9 @@
+"""The cache-key registry — out of sync with the simulation.
+
+``burst`` affects behavior (engine.py reads it) but is not hashed:
+H001. ``debug_label`` is hashed but nothing reads it: H002.
+"""
+
+HASHED_FIELDS = {
+    "BadPkgConfig": ("rate_hz", "debug_label"),
+}

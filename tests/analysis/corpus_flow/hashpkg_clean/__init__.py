@@ -1,0 +1,1 @@
+"""Clean counterpart of hashpkg_bad: registry matches behavior."""

@@ -1,0 +1,9 @@
+"""The config dataclass: every field both hashed and consumed."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CleanPkgConfig:
+    rate_hz: int = 10
+    burst: int = 1

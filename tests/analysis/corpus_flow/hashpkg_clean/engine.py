@@ -1,0 +1,7 @@
+"""Simulation behavior driven by the config."""
+
+from hashpkg_clean.config import CleanPkgConfig
+
+
+def events_per_window(config: CleanPkgConfig, window_s: float) -> float:
+    return config.rate_hz * config.burst * window_s

@@ -1,0 +1,5 @@
+"""The cache-key registry — in sync with the simulation."""
+
+HASHED_FIELDS = {
+    "CleanPkgConfig": ("rate_hz", "burst"),
+}

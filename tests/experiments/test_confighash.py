@@ -1,10 +1,15 @@
 """Stable config hashing (the cache key of every run)."""
 
+import dataclasses
+
 import numpy as np
+import pytest
 
 import repro.experiments.confighash as confighash
-from repro.experiments.confighash import (MODEL_VERSION, canonicalize,
-                                          config_digest, run_key)
+from repro.cluster.fleet import FleetConfig
+from repro.experiments.confighash import (HASHED_FIELDS, MODEL_VERSION,
+                                          canonicalize, config_digest,
+                                          run_key)
 from repro.system import ServerConfig
 from repro.units import MS
 
@@ -60,3 +65,68 @@ def test_plain_objects_canonicalize_by_class_and_state():
 
     assert canonicalize(Shape(10)) == canonicalize(Shape(10))
     assert canonicalize(Shape(10)) != canonicalize(Shape(11))
+
+
+# --------------------------------------------------------------------- #
+# The HASHED_FIELDS registry (audited by the H001/H002 flow rules)
+# --------------------------------------------------------------------- #
+
+def test_registry_digests_are_pinned():
+    """The registry reshaped canonicalize; the digests must not move.
+
+    These values predate the registry — changing them silently
+    invalidates every cached run key.
+    """
+    server = ServerConfig(app="memcached", seed=7)
+    assert config_digest(server) == (
+        "9aeb6ad854855683b1545d8a0fec265374b0b066b62544fe01cb1c2b60400dab")
+    fleet = FleetConfig(node=server, n_nodes=3, seed=11)
+    assert config_digest(fleet) == (
+        "bbf5744d645304266839e7e57c7d4df3cc276e799e6291c423c0dd718daabc6c")
+    assert run_key(server, 1_000_000) == (
+        "367de8e02bdc379b3fa26572301ad9a21c2eae5e619f108740b04179341ec964")
+
+
+@pytest.mark.parametrize("cls", [ServerConfig, FleetConfig])
+def test_registry_matches_dataclass_definition(cls):
+    """Every declared field is listed, in definition order.
+
+    Order matters: the registry feeds canonicalize positionally, so a
+    reordered entry would change digests even with the same field set.
+    """
+    declared = tuple(f.name for f in dataclasses.fields(cls))
+    assert HASHED_FIELDS[cls.__name__] == declared
+
+
+def test_stale_registry_entry_fails_loudly(monkeypatch):
+    """A registry naming a nonexistent field must never hash silently."""
+    patched = dict(HASHED_FIELDS)
+    patched["ServerConfig"] = HASHED_FIELDS["ServerConfig"] + ("ghost",)
+    monkeypatch.setattr(confighash, "HASHED_FIELDS", patched)
+    with pytest.raises(AttributeError):
+        config_digest(ServerConfig())
+
+
+def test_registry_omission_excludes_field_from_digest(monkeypatch):
+    """Dropping a field from the registry changes what the hash sees.
+
+    This is exactly the hazard rule H001 exists to catch statically:
+    two configs differing only in the dropped field collide.
+    """
+    fields = HASHED_FIELDS["ServerConfig"]
+    patched = dict(HASHED_FIELDS)
+    patched["ServerConfig"] = tuple(f for f in fields if f != "seed")
+    monkeypatch.setattr(confighash, "HASHED_FIELDS", patched)
+    a = config_digest(ServerConfig(seed=1))
+    b = config_digest(ServerConfig(seed=2))
+    assert a == b
+
+
+def test_unregistered_dataclasses_hash_generically():
+    @dataclasses.dataclass(frozen=True)
+    class Local:
+        x: int = 1
+
+    assert Local.__name__ not in HASHED_FIELDS
+    assert config_digest(Local(x=1)) == config_digest(Local(x=1))
+    assert config_digest(Local(x=1)) != config_digest(Local(x=2))
