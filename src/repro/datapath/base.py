@@ -149,6 +149,16 @@ class RxBackend:
         """Cores that host an application worker (default: all)."""
         return [core.core_id for core in self.stack.processor.cores]
 
+    def retrieval_core_for_queue(self, qid: int) -> int:
+        """The core whose retrieval machinery drains NIC queue ``qid``.
+
+        This is where a host-model P4 pipeline (``repro.p4`` with
+        ``cost_model="core"``) charges per-stage cycles. The kernel and
+        Metronome paths retrieve queue q on core q (the one-queue-per-
+        core topology); pollmode overrides with its queue-owner map.
+        """
+        return qid
+
     def mode_source(self, core_id: int):
         """The per-core object exposing ``poll_listeners``/``irq_listeners``."""
         raise NotImplementedError

@@ -36,6 +36,7 @@ from repro.cpu.core import PRIORITY_TASK, Work
 from repro.datapath.base import (MODE_INTERMITTENT, RxBackend,
                                  check_bypass_params, grab_burst,
                                  stamp_poll_grab)
+from repro.datapath.steering import spread_queues
 from repro.netstack.napi import MODE_INTERRUPT, MODE_POLLING
 from repro.osched.thread import SimThread
 from repro.sim.rng import RandomStreams
@@ -229,12 +230,17 @@ class MetronomeBackend(RxBackend):
         # Overshoot jitter draws from independently derived per-core
         # streams: creating them never perturbs any other stream.
         streams = stack.rng if stack.rng is not None else RandomStreams(0)
-        for core in stack.processor.cores:
-            cid = core.core_id
-            stack.nic.disable_irq(cid)
+        # One queue per core: the shared steering spread is the identity
+        # map, so queue q's retrieval thread shares core q with the
+        # application worker — bit-identical to the pre-helper wiring.
+        consumer_for_queue = spread_queues(
+            stack.nic.n_queues,
+            [core.core_id for core in stack.processor.cores])
+        for qid, cid in enumerate(consumer_for_queue):
+            stack.nic.disable_irq(qid)
             rng = streams.stream(f"datapath.metronome.c{cid}")
             self.threads.append(MetronomeThread(
-                self, stack.schedulers[cid], cid, rng))
+                self, stack.schedulers[cid], qid, rng))
 
     def start(self) -> None:
         for thread in self.threads:

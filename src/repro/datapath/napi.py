@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.datapath.base import RxBackend
+from repro.datapath.steering import spread_queues
 from repro.netstack.ksoftirqd import KsoftirqdThread
 from repro.netstack.napi import (MODE_INTERRUPT, MODE_POLLING, NapiConfig,
                                  NapiContext)
@@ -32,15 +33,21 @@ class NapiRxBackend(RxBackend):
 
     def build(self) -> None:
         stack = self.stack
-        for core in stack.processor.cores:
-            cid = core.core_id
+        # One queue per core: the shared steering spread is the identity
+        # map here, so routing through it is bit-identical to the
+        # pre-helper wiring (queue q's NAPI lives on core q).
+        consumer_for_queue = spread_queues(
+            stack.nic.n_queues,
+            [core.core_id for core in stack.processor.cores])
+        for qid, cid in enumerate(consumer_for_queue):
+            core = stack.processor.cores[cid]
             ksoftirqd = KsoftirqdThread(cid)
             stack.schedulers[cid].add_thread(ksoftirqd)
-            napi = NapiContext(stack.sim, core, stack.nic, cid,
+            napi = NapiContext(stack.sim, core, stack.nic, qid,
                                config=stack.config.napi,
                                deliver=stack._deliver)
             ksoftirqd.attach_napi(napi)
-            stack.nic.bind(cid, napi.on_interrupt)
+            stack.nic.bind(qid, napi.on_interrupt)
             self.ksoftirqds.append(ksoftirqd)
             self.napis.append(napi)
         # Legacy aliases: governors, threshold profiling, and the

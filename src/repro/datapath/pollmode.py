@@ -31,6 +31,7 @@ from repro.cpu.core import PRIORITY_TASK, Work
 from repro.datapath.base import (MODE_BUSY_POLL, RxBackend, RxModeHub,
                                  check_bypass_params, grab_burst,
                                  stamp_poll_grab)
+from repro.datapath.steering import spread_queues
 from repro.netstack.napi import MODE_POLLING
 from repro.osched.thread import SimThread
 from repro.units import S
@@ -184,6 +185,8 @@ class PollModeBackend(RxBackend):
         self.threads: List[PollThread] = []
         #: Queue id -> worker core id receiving its data packets.
         self.worker_for_queue: List[int] = []
+        #: Queue id -> poll core id that drains it (the retrieval core).
+        self._owner_for_queue: List[int] = []
         self._worker_core_ids: List[int] = []
         self._hubs: Dict[int, RxModeHub] = {}
 
@@ -197,15 +200,15 @@ class PollModeBackend(RxBackend):
         poll_ids = list(range(self.n_poll_cores))
         self._worker_core_ids = list(range(self.n_poll_cores, n_cores))
         n_queues = stack.nic.n_queues
-        self.worker_for_queue = [
-            self._worker_core_ids[q % len(self._worker_core_ids)]
-            for q in range(n_queues)]
+        self.worker_for_queue = spread_queues(n_queues,
+                                              self._worker_core_ids)
         # Partition the queues over the poll cores and mask every IRQ:
         # discovery is polling (plus the doorbell) from here on.
+        self._owner_for_queue = spread_queues(n_queues, poll_ids)
         by_core: Dict[int, List[int]] = {cid: [] for cid in poll_ids}
         for qid in range(n_queues):
             stack.nic.disable_irq(qid)
-            by_core[poll_ids[qid % len(poll_ids)]].append(qid)
+            by_core[self._owner_for_queue[qid]].append(qid)
         for cid in poll_ids:
             thread = PollThread(self, stack.schedulers[cid], by_core[cid])
             for qid in by_core[cid]:
@@ -220,6 +223,9 @@ class PollModeBackend(RxBackend):
 
     def worker_core_ids(self) -> List[int]:
         return list(self._worker_core_ids)
+
+    def retrieval_core_for_queue(self, qid: int) -> int:
+        return self._owner_for_queue[qid]
 
     def mode_source(self, core_id: int):
         if core_id < self.n_poll_cores:

@@ -1,0 +1,35 @@
+"""Shared queue→core steering: the one audited spread function.
+
+Every RX backend must answer the same question — *which core consumes
+NIC queue q?* — and before ``repro.p4`` each answered it with its own
+inline arithmetic (the NAPI/Metronome identity map, pollmode's
+``q % len(workers)``). This module is the single code path all four
+backends now steer through, and it is also the default the P4 pipeline
+engine falls back to when a program has no matching steer entry: one
+place to audit, one place a programmable steering table overrides.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def spread_queues(n_queues: int, core_ids: Sequence[int]) -> List[int]:
+    """Round-robin spread of ``n_queues`` NIC queues over ``core_ids``.
+
+    Returns ``map`` with ``map[q]`` the consuming core of queue ``q``.
+    With one queue per core (the kernel-path topology) this is the
+    identity map; with fewer cores than queues (pollmode's worker set)
+    queues wrap around — exactly the ``q % len(core_ids)`` rule the
+    backends used inline before this helper existed, so adopting it is
+    bit-identical.
+    """
+    if n_queues < 1:
+        raise ValueError("need at least one queue")
+    if not core_ids:
+        raise ValueError("need at least one consuming core")
+    n = len(core_ids)
+    return [core_ids[q % n] for q in range(n_queues)]
+
+
+__all__ = ["spread_queues"]

@@ -28,7 +28,7 @@ import numpy as np
 
 #: Version of the simulation model semantics. Part of every cache key and
 #: the on-disk cache namespace; bump on any change that alters RunResults.
-MODEL_VERSION = "2026.08-pr8"
+MODEL_VERSION = "2026.08-pr10"
 
 #: The fields each known config class contributes to its cache key, in
 #: definition order (so digests match the generic dataclass traversal).
@@ -49,7 +49,7 @@ HASHED_FIELDS: Dict[str, Tuple[str, ...]] = {
         "wire_latency_ns", "itr_gap_ns", "n_flows", "seed",
         "arrival_seed", "trace", "trace_sample_rate", "batch_events",
         "fault_plan", "retry", "timeline", "datapath",
-        "datapath_params"),
+        "datapath_params", "pipeline", "flow_weights"),
     "FleetConfig": (
         "node", "n_nodes", "policy", "policy_params",
         "lb_wire_latency_ns", "n_sessions", "session_skew",
@@ -70,6 +70,13 @@ HASHED_FIELDS: Dict[str, Tuple[str, ...]] = {
     "StackConfig": (
         "napi", "timeslice_ns", "mss_bytes", "ack_spacing_ns",
         "batch_acks"),
+    "PipelineProgram": (
+        "stages", "parser_cycles", "deparser_cycles", "cost_model",
+        "nic_hz"),
+    "TableStage": ("name", "entries", "cycles_per_packet", "miss_action"),
+    "TableEntry": (
+        "field", "value", "mask", "action", "queue", "rate_pps",
+        "burst_pkts", "exceed_action"),
     "RetryPolicy": (
         "timeout_ns", "max_retries", "backoff_base_ns",
         "backoff_factor", "backoff_cap_ns"),

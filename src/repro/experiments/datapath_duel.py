@@ -21,9 +21,12 @@ than busy poll — the mode signal generalizes beyond DVFS.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.experiments import parallel
 from repro.experiments.base import QUICK, ExperimentResult, ExperimentScale
 from repro.experiments.grid import LOAD_LEVELS, cell_config
+from repro.p4.program import PipelineProgram
 
 #: (label, datapath, freq_governor) — every entry runs with the menu
 #: idle governor; poll cores never idle, so busy poll pairs naturally
@@ -39,11 +42,16 @@ ENTRIES = (
 APPS = ("memcached", "nginx")
 
 
-def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
+def run(scale: ExperimentScale = QUICK,
+        pipeline: Optional[PipelineProgram] = None) -> ExperimentResult:
+    """``pipeline`` overlays one match-action RX program (``repro.p4``)
+    uniformly on every bracket — e.g. a charged steering table in front
+    of the busy-poll backend. None (the default) keeps the classic
+    duel's configurations and cache keys unchanged."""
     keys = [(app, level, entry)
             for app in APPS for level in LOAD_LEVELS for entry in ENTRIES]
     jobs = [(cell_config(app, level, governor, "menu", scale,
-                         datapath=datapath),
+                         datapath=datapath, pipeline=pipeline),
              scale.duration_ns)
             for app, level, (label, datapath, governor) in keys]
     results = dict(zip(keys, parallel.run_many(jobs)))

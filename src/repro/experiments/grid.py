@@ -16,6 +16,7 @@ from repro.experiments.base import ExperimentScale
 from repro.experiments.runner import run_cached
 from repro.faults.plan import FaultPlan
 from repro.obs.timeline import TimelineConfig
+from repro.p4.program import PipelineProgram
 from repro.system import RunResult, ServerConfig
 from repro.workload.retry import RetryPolicy
 
@@ -35,13 +36,15 @@ def cell_config(app: str, level: str, governor: str, sleep: str,
                 retry: Optional[RetryPolicy] = None,
                 timeline: Optional[TimelineConfig] = None,
                 datapath: str = "napi",
-                datapath_params: Optional[dict] = None) -> ServerConfig:
+                datapath_params: Optional[dict] = None,
+                pipeline: Optional[PipelineProgram] = None) -> ServerConfig:
     """The configuration of one grid cell.
 
     ``fault_plan``/``retry``/``timeline`` overlay a fault scenario
     (``repro.faults``), a client retry policy, and windowed timeline
     sampling (``repro.obs.timeline``) on the cell; ``datapath`` selects
-    the RX backend (``repro.datapath``). All default to off / the
+    the RX backend (``repro.datapath``) and ``pipeline`` installs a
+    match-action RX program (``repro.p4``). All default to off / the
     kernel NAPI path, which keeps the classic grid's configurations
     (and cache keys) unchanged.
     """
@@ -50,7 +53,8 @@ def cell_config(app: str, level: str, governor: str, sleep: str,
                         seed=scale.seed, fault_plan=fault_plan,
                         retry=retry, timeline=timeline,
                         datapath=datapath,
-                        datapath_params=datapath_params or {})
+                        datapath_params=datapath_params or {},
+                        pipeline=pipeline)
 
 
 def run_cell(app: str, level: str, governor: str, sleep: str,
@@ -59,12 +63,14 @@ def run_cell(app: str, level: str, governor: str, sleep: str,
              retry: Optional[RetryPolicy] = None,
              timeline: Optional[TimelineConfig] = None,
              datapath: str = "napi",
-             datapath_params: Optional[dict] = None) -> RunResult:
+             datapath_params: Optional[dict] = None,
+             pipeline: Optional[PipelineProgram] = None) -> RunResult:
     """Run (or fetch) one grid cell."""
     config = cell_config(app, level, governor, sleep, scale,
                          fault_plan=fault_plan, retry=retry,
                          timeline=timeline, datapath=datapath,
-                         datapath_params=datapath_params)
+                         datapath_params=datapath_params,
+                         pipeline=pipeline)
     return run_cached(config, scale.duration_ns)
 
 
@@ -75,7 +81,8 @@ def run_grid(governors, sleeps, scale: ExperimentScale,
              retry: Optional[RetryPolicy] = None,
              timeline: Optional[TimelineConfig] = None,
              datapath: str = "napi",
-             datapath_params: Optional[dict] = None
+             datapath_params: Optional[dict] = None,
+             pipeline: Optional[PipelineProgram] = None
              ) -> Dict[GridKey, RunResult]:
     """Run every (app, level, governor, sleep) combination.
 
@@ -94,7 +101,8 @@ def run_grid(governors, sleeps, scale: ExperimentScale,
                            for sleep in sleeps]
     jobs = [(cell_config(*key, scale, fault_plan=fault_plan, retry=retry,
                          timeline=timeline, datapath=datapath,
-                         datapath_params=datapath_params),
+                         datapath_params=datapath_params,
+                         pipeline=pipeline),
              scale.duration_ns) for key in keys]
     results = parallel.run_many(jobs, workers=workers)
     return dict(zip(keys, results))

@@ -12,9 +12,9 @@ from repro.experiments import (fig02_mode_transitions, fig03_response_latency,
                                fig12_p99, fig13_energy, fig14_sota_p99,
                                fig15_sota_energy, fig16_changing_load,
                                datapath_duel, fault_resilience, fleet_energy,
-                               fleet_scale, fleet_tail, imbalance, robustness,
-                               slo_calibration, tab01_retransition,
-                               tab02_wakeup)
+                               fleet_scale, fleet_tail, imbalance, p4_steering,
+                               robustness, slo_calibration,
+                               tab01_retransition, tab02_wakeup)
 from repro.experiments.base import QUICK, ExperimentResult, ExperimentScale
 
 #: All paper artifacts, in paper order.
@@ -49,6 +49,8 @@ EXPERIMENTS: Dict[str, Callable] = {
     "fault_resilience": fault_resilience.run,
     # Kernel-bypass RX backends (repro.datapath) vs the kernel path.
     "datapath_duel": datapath_duel.run,
+    # Match-action RX pipeline (repro.p4): programmable steering vs RSS.
+    "p4_steering": p4_steering.run,
 }
 
 

@@ -60,6 +60,12 @@ class MultiQueueNic:
         #: stack's ACK generator to re-stamp (ACK floods of multi-segment
         #: responses otherwise allocate one short-lived Packet per ACK).
         self.free_acks: List[Packet] = []
+        #: The match-action pipeline (``repro.p4.PipelineEngine``), or
+        #: None for raw RSS. Installed here — on the class receive path,
+        #: not as an instance-dict shadow — so fault-injected wire loss
+        #: (which shadows :meth:`receive` and delegates to the class
+        #: method) composes *in front of* the pipeline.
+        self.pipeline = None
 
     @property
     def n_queues(self) -> int:
@@ -88,13 +94,27 @@ class MultiQueueNic:
     # ------------------------------------------------------------------ #
 
     def receive(self, packet: Packet, qid: Optional[int] = None) -> bool:
-        """A packet arrives from the wire; returns False if tail-dropped.
+        """A packet arrives from the wire; returns False if dropped.
 
         ``qid`` short-circuits RSS steering when the caller already knows
         the queue (an ACK train hashes the same flow every segment).
+        With a pipeline installed, queue selection belongs to the
+        program: the caller's hint is ignored (its unsteered fallback is
+        the same hash RSS, so an identity program picks the same queue).
         """
+        if self.pipeline is not None:
+            return self.pipeline.rx(packet)
         if qid is None:
             qid = self.rss.queue_for(packet.flow_id)
+        return self.enqueue_rx(packet, qid)
+
+    def enqueue_rx(self, packet: Packet, qid: int) -> bool:
+        """Land a packet on RX queue ``qid``; returns False on tail drop.
+
+        The post-classification half of :meth:`receive` — the pipeline
+        engine calls this directly once it has chosen (or delayed to)
+        the queue.
+        """
         queue = self.queues[qid]
         if not queue.push_rx(packet):
             return False

@@ -56,12 +56,15 @@ __all__ = [
 #: per-backend datapath accounting modes (``repro.datapath``): NAPI
 #: fills interrupt/polling, busy-poll fills busy_poll, Metronome fills
 #: intermittent/polling; "poll_loops"/"sleep_wakes" count retrieval
-#: batches and timer wakes the same way for every backend.
+#: batches and timer wakes the same way for every backend. The three
+#: ``p4_*`` columns are the match-action pipeline (``repro.p4``) —
+#: per-window table hits, misses, and pipeline drops; all zero when the
+#: node runs no program.
 NODE_SERIES = ("sent", "completed", "dropped", "timed_out", "retries",
                "gave_up", "p99_ns", "power_w", "energy_j", "busy_frac",
                "pkts_interrupt", "pkts_polling", "pkts_busy_poll",
                "pkts_intermittent", "poll_loops", "sleep_wakes",
-               "pstate_changes")
+               "pstate_changes", "p4_hits", "p4_misses", "p4_drops")
 
 #: Fleet-level series (``drive_lockstep`` counters, per-window deltas).
 FLEET_SERIES = ("dispatched", "windows", "strides")
@@ -262,6 +265,7 @@ class TimelineSampler:
         self._prev_busy_ns = 0
         self._prev_datapath = (0,) * 6  # TIMELINE_MODES + loops/wakes
         self._prev_flips = 0
+        self._prev_p4 = (0, 0, 0)  # hits, misses, drops
 
     def sample(self, t_ns: int) -> Tuple[float, ...]:
         """The node's :data:`NODE_SERIES` row for the window ending at
@@ -306,11 +310,17 @@ class TimelineSampler:
         d_flips = flips - self._prev_flips
         self._prev_flips = flips
 
+        p4 = (system.pipeline.timeline_counts()
+              if system.pipeline is not None else (0, 0, 0))
+        d_p4 = tuple(c - p for c, p in zip(p4, self._prev_p4))
+        self._prev_p4 = p4
+
         return ((float(d_sent), float(completed), float(d_dropped),
                  float(d_timed_out), float(d_retries), float(d_gave_up),
                  p99_ns, power_w, d_energy_j, busy_frac)
                 + tuple(float(d) for d in d_datapath)
-                + (float(d_flips),))
+                + (float(d_flips),)
+                + tuple(float(d) for d in d_p4))
 
 
 class TimelineDriver:

@@ -1,0 +1,134 @@
+"""Canned pipeline programs.
+
+These are the programs the experiments and tests reach for; anything
+else is composed from :class:`~repro.p4.program.TableStage` /
+:class:`~repro.p4.program.TableEntry` directly (or by ``chained()``-ing
+the builders below).
+
+Everything here is a pure function of its arguments — no RNG, no wall
+clock — so a library program is as cache-stable as a hand-written one.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.nic.rss import _mix
+from repro.p4.program import (ACTION_DROP, ACTION_METER, ACTION_STEER,
+                              FIELD_KIND, FIELD_SESSION, PipelineProgram,
+                              TableEntry, TableStage)
+
+
+def identity_program() -> PipelineProgram:
+    """A truthy program that matches nothing and costs nothing.
+
+    One empty zero-cycle table: every packet misses, ``miss_action``
+    is ``continue``, no cycles are charged anywhere, and queue selection
+    falls through to hash RSS. Builds the full engine but must stay
+    bit-identical to no pipeline at all — the subsystem's zero-cost
+    contract, pinned by ``tests/p4/test_parity.py``.
+    """
+    return PipelineProgram(stages=(TableStage(name="identity"),))
+
+
+def flow_affine_program(n_queues: int, weights: Sequence[float],
+                        cycles_per_packet: float = 0.0,
+                        cost_model: str = "nic",
+                        nic_hz: float = 1_000_000_000.0) -> PipelineProgram:
+    """Steer each session to a queue by greedy weight balancing.
+
+    ``weights[i]`` is the relative traffic share of session (flow) ``i``.
+    Sessions are placed heaviest-first onto the currently lightest
+    queue (longest-processing-time-first bin packing) — the classic fix
+    for skewed session popularity, where hash RSS happily lands two
+    elephants on one queue. Ties break by session id then queue id, so
+    the resulting table is a pure function of the weight vector.
+    """
+    if n_queues < 1:
+        raise ValueError("need at least one queue")
+    if not weights:
+        raise ValueError("need at least one session weight")
+    if any(w < 0 for w in weights):
+        raise ValueError("session weights must be >= 0")
+    order = sorted(range(len(weights)), key=lambda i: (-weights[i], i))
+    load = [0.0] * n_queues
+    assignment = {}
+    for sid in order:
+        q = min(range(n_queues), key=lambda j: (load[j], j))
+        assignment[sid] = q
+        load[q] += weights[sid]
+    entries = tuple(
+        TableEntry(field=FIELD_SESSION, value=sid, action=ACTION_STEER,
+                   queue=assignment[sid])
+        for sid in range(len(weights)))
+    return PipelineProgram(
+        stages=(TableStage(name="flow_affinity", entries=entries,
+                           cycles_per_packet=cycles_per_packet),),
+        cost_model=cost_model, nic_hz=nic_hz)
+
+
+def hash_rss_program(n_queues: int, n_sessions: int,
+                     cycles_per_packet: float = 0.0,
+                     cost_model: str = "nic",
+                     nic_hz: float = 1_000_000_000.0) -> PipelineProgram:
+    """Hash RSS written out as an explicit steer table.
+
+    One entry per session, steering to ``_mix(session) % n_queues`` —
+    exactly the queue the hardware hash would pick. Functionally a
+    no-op versus no pipeline (useful as the charged control arm against
+    :func:`flow_affine_program`: same table size, same per-packet cost,
+    only the placement differs).
+    """
+    if n_queues < 1:
+        raise ValueError("need at least one queue")
+    if n_sessions < 1:
+        raise ValueError("need at least one session")
+    entries = tuple(
+        TableEntry(field=FIELD_SESSION, value=sid, action=ACTION_STEER,
+                   queue=_mix(sid) % n_queues)
+        for sid in range(n_sessions))
+    return PipelineProgram(
+        stages=(TableStage(name="hash_rss", entries=entries,
+                           cycles_per_packet=cycles_per_packet),),
+        cost_model=cost_model, nic_hz=nic_hz)
+
+
+def drop_program(field: str, values: Sequence[int],
+                 table: str = "acl",
+                 cycles_per_packet: float = 0.0,
+                 cost_model: str = "nic",
+                 nic_hz: float = 1_000_000_000.0) -> PipelineProgram:
+    """An ACL: drop packets whose ``field`` matches any of ``values``."""
+    if not values:
+        raise ValueError("need at least one value to drop")
+    entries = tuple(TableEntry(field=field, value=v, action=ACTION_DROP)
+                    for v in values)
+    return PipelineProgram(
+        stages=(TableStage(name=table, entries=entries,
+                           cycles_per_packet=cycles_per_packet),),
+        cost_model=cost_model, nic_hz=nic_hz)
+
+
+def meter_program(rate_pps: float, burst_pkts: int,
+                  exceed_action: str = "drop",
+                  table: str = "meter",
+                  cycles_per_packet: float = 0.0,
+                  cost_model: str = "nic",
+                  nic_hz: float = 1_000_000_000.0) -> PipelineProgram:
+    """Rate-limit *all* RX traffic with one deterministic token bucket.
+
+    The single entry is a catch-all (mask 0 matches every packet), so
+    the bucket sees the aggregate arrival process — an ingress policer.
+    """
+    catch_all = TableEntry(field=FIELD_KIND, value=0, mask=0,
+                           action=ACTION_METER, rate_pps=rate_pps,
+                           burst_pkts=burst_pkts,
+                           exceed_action=exceed_action)
+    return PipelineProgram(
+        stages=(TableStage(name=table, entries=(catch_all,),
+                           cycles_per_packet=cycles_per_packet),),
+        cost_model=cost_model, nic_hz=nic_hz)
+
+
+__all__ = ["identity_program", "flow_affine_program", "hash_rss_program",
+           "drop_program", "meter_program"]

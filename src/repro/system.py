@@ -43,6 +43,7 @@ from repro.nic.nic import MultiQueueNic
 from repro.netstack.napi import MODE_INTERRUPT, MODE_POLLING
 from repro.netstack.stack import NetworkStack, StackConfig
 from repro.obs.registry import TelemetryRegistry
+from repro.p4.program import PipelineProgram
 from repro.obs.span import STAGES, SpanLog
 from repro.obs.timeline import (TimelineConfig, TimelineDriver,
                                 TimelineResult, TimelineSampler,
@@ -140,6 +141,18 @@ class ServerConfig:
     #: Keyword parameters for the backend constructor (burst sizes,
     #: sleep bounds, poll-core count, ...; backend-specific).
     datapath_params: dict = field(default_factory=dict)
+    #: Match-action RX pipeline program (``repro.p4``; docs/DATAPATH.md).
+    #: None or an empty program builds no engine at all and the run is
+    #: bit-identical to one without pipeline support; a truthy identity
+    #: program builds the engine but is still bit-identical (the
+    #: zero-cost contract pinned by ``tests/p4/test_parity.py``).
+    pipeline: Optional[PipelineProgram] = None
+    #: Per-session traffic weights for the client (skewed session
+    #: popularity): ``flow_weights[i]`` is the relative share of flow
+    #: ``i``, expanded into a deterministic smooth weighted-round-robin
+    #: pattern. Requires ``n_flows == len(flow_weights)``. None keeps
+    #: the exact legacy round-robin flow assignment.
+    flow_weights: Optional[tuple] = None
 
     def with_overrides(self, **kwargs) -> "ServerConfig":
         """A copy with fields replaced (convenience for sweeps)."""
@@ -249,6 +262,17 @@ class ServerSystem:
         #: leave the NIC queues and on which cores that work is charged.
         self.datapath = self.stack.rx
 
+        #: Match-action pipeline engine (``repro.p4``), built only for
+        #: truthy programs: an absent/empty program constructs nothing
+        #: and touches no receive path, keeping plain runs bit-identical.
+        self.pipeline = None
+        if config.pipeline is not None and config.pipeline:
+            from repro.p4.engine import PipelineEngine
+            self.pipeline = PipelineEngine(
+                config.pipeline, self.nic, self.sim, self.trace,
+                processor=self.processor, backend=self.datapath)
+            self.nic.pipeline = self.pipeline
+
         # Application: one worker thread pinned per core the datapath
         # leaves to the application (busy-poll backends reserve cores).
         self.app = make_app(config.app, self.rng.stream("app"),
@@ -276,6 +300,7 @@ class ServerSystem:
             request_factory=self.app.request_factory(),
             wire_latency_ns=config.wire_latency_ns,
             n_flows=config.n_flows,
+            flow_weights=config.flow_weights,
             batch_arrivals=config.batch_events,
             span_log=self.spans,
             retry=config.retry)
@@ -453,6 +478,8 @@ class ServerSystem:
                     subsystem="nic").inc(nic.rx_data_packets)
         reg.counter("nic_tx_packets_total", "Packets transmitted",
                     subsystem="nic").inc(nic.tx_packets)
+        if self.pipeline is not None:
+            self.pipeline.register_into(reg)
 
         # Per-core RX datapath: the backend emits its own counters (the
         # NAPI backend keeps the classic napi_*/ksoftirqd_* series, and

@@ -7,7 +7,7 @@ client would mask queueing collapse).
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -18,6 +18,34 @@ from repro.workload.retry import RetryPolicy
 from repro.workload.shapes import LoadShape, generate_arrivals
 
 
+def wrr_pattern(weights: Sequence[int]) -> Tuple[int, ...]:
+    """Smooth weighted round-robin expansion of integer session weights.
+
+    The classic interleaving (nginx's smooth WRR): each step every
+    session gains its weight of credit, the highest-credit session
+    (ties to the lowest id) emits and pays the total back. The result
+    is a pure function of the weight vector — no RNG — of length
+    ``sum(weights)``, spreading each session as evenly as its share
+    allows (weights ``(3, 1)`` give ``a a b a``, not ``a a a b``).
+    """
+    if not weights:
+        raise ValueError("need at least one session weight")
+    if any((not isinstance(w, int)) or w < 0 for w in weights):
+        raise ValueError("session weights must be non-negative integers")
+    total = sum(weights)
+    if total < 1:
+        raise ValueError("at least one session weight must be positive")
+    credit = [0] * len(weights)
+    out = []
+    for _ in range(total):
+        for i, w in enumerate(weights):
+            credit[i] += w
+        best = max(range(len(weights)), key=lambda i: (credit[i], -i))
+        credit[best] -= total
+        out.append(best)
+    return tuple(out)
+
+
 class OpenLoopClient:
     """Drives a NIC with a load shape; collects end-to-end latencies."""
 
@@ -25,11 +53,20 @@ class OpenLoopClient:
                  request_factory: Optional[Callable[[int, int], Request]] = None,
                  wire_latency_ns: int = 5_000,
                  n_flows: Optional[int] = None,
+                 flow_weights: Optional[Sequence[int]] = None,
                  batch_arrivals: bool = True,
                  span_log: Optional[SpanLog] = None,
                  retry: Optional[RetryPolicy] = None):
         if n_flows is not None and n_flows < 1:
             raise ValueError("need at least one flow")
+        #: Deterministic skewed-session pattern, or None for the legacy
+        #: uniform round-robin flow assignment (bit-identical path).
+        self._flow_pattern: Optional[Tuple[int, ...]] = None
+        if flow_weights is not None:
+            if n_flows is None or len(flow_weights) != n_flows:
+                raise ValueError("flow_weights must have exactly n_flows "
+                                 "entries")
+            self._flow_pattern = wrr_pattern(flow_weights)
         self.sim = sim
         self.nic = nic
         self.shape = shape
@@ -167,8 +204,12 @@ class OpenLoopClient:
 
     def _make_packet(self, created_ns: int) -> Packet:
         self._flow_counter += 1
-        flow_id = (self._flow_counter if self.n_flows is None
-                   else self._flow_counter % self.n_flows)
+        if self._flow_pattern is not None:
+            pattern = self._flow_pattern
+            flow_id = pattern[(self._flow_counter - 1) % len(pattern)]
+        else:
+            flow_id = (self._flow_counter if self.n_flows is None
+                       else self._flow_counter % self.n_flows)
         request = self.request_factory(flow_id, created_ns)
         span_log = self.span_log
         if span_log is not None and span_log.want(self._flow_counter):

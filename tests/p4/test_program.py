@@ -1,0 +1,162 @@
+"""PipelineProgram validation, hashability, and cache-key coverage."""
+
+import pytest
+
+from repro.experiments.confighash import config_digest
+from repro.p4 import (PipelineProgram, TableEntry, TableStage, chained,
+                      drop_program, flow_affine_program, hash_rss_program,
+                      identity_program, meter_program, size_class_of)
+from repro.system import ServerConfig
+
+
+# -- entry validation --------------------------------------------------- #
+
+def test_entry_rejects_unknown_field_and_action():
+    with pytest.raises(ValueError, match="unknown match field"):
+        TableEntry(field="dscp", value=1, action="drop")
+    with pytest.raises(ValueError, match="unknown action"):
+        TableEntry(field="kind", value=1, action="recirculate")
+
+
+def test_steer_entry_needs_queue_and_others_refuse_one():
+    with pytest.raises(ValueError, match="needs a queue"):
+        TableEntry(field="session", value=1, action="steer")
+    with pytest.raises(ValueError, match="must not name a queue"):
+        TableEntry(field="session", value=1, action="drop", queue=0)
+
+
+def test_meter_entry_validation():
+    with pytest.raises(ValueError, match="rate_pps"):
+        TableEntry(field="kind", value=0, mask=0, action="meter",
+                   burst_pkts=4)
+    with pytest.raises(ValueError, match="burst_pkts"):
+        TableEntry(field="kind", value=0, mask=0, action="meter",
+                   rate_pps=100.0)
+    with pytest.raises(ValueError, match="exceed_action"):
+        TableEntry(field="kind", value=0, mask=0, action="meter",
+                   rate_pps=100.0, burst_pkts=4, exceed_action="shape")
+    with pytest.raises(ValueError, match="meter parameters"):
+        TableEntry(field="kind", value=0, action="drop", rate_pps=5.0)
+
+
+def test_masked_match_semantics():
+    entry = TableEntry(field="flow_hash", value=0b1010, mask=0b0011,
+                       action="drop")
+    assert entry.matches(0b0110)      # low bits agree (10 == 10)
+    assert not entry.matches(0b0111)  # low bits differ
+    exact = TableEntry(field="session", value=7, action="drop")
+    assert exact.matches(7) and not exact.matches(8)
+
+
+def test_size_class_is_ceil_log2():
+    assert [size_class_of(n) for n in (1, 2, 3, 64, 65, 1500)] == \
+        [0, 1, 2, 6, 7, 11]
+
+
+# -- stage / program validation ----------------------------------------- #
+
+def test_stage_coerces_entries_and_validates():
+    stage = TableStage(name="acl", entries=[
+        TableEntry(field="session", value=1, action="drop")])
+    assert isinstance(stage.entries, tuple)
+    with pytest.raises(ValueError, match="miss_action"):
+        TableStage(name="acl", miss_action="recirculate")
+    with pytest.raises(ValueError, match="needs a name"):
+        TableStage(name="")
+
+
+def test_program_rejects_duplicate_stage_names_and_bad_knobs():
+    stage = TableStage(name="t")
+    with pytest.raises(ValueError, match="duplicate"):
+        PipelineProgram(stages=(stage, TableStage(name="t")))
+    with pytest.raises(ValueError, match="cost_model"):
+        PipelineProgram(cost_model="fpga")
+    with pytest.raises(ValueError, match="nic_hz"):
+        PipelineProgram(nic_hz=0)
+
+
+def test_truthiness_distinguishes_empty_from_identity():
+    assert not PipelineProgram()
+    assert identity_program()
+    assert PipelineProgram(parser_cycles=1.0)
+
+
+def test_max_steer_queue():
+    assert PipelineProgram().max_steer_queue() == -1
+    assert flow_affine_program(4, (3, 1, 1)).max_steer_queue() <= 3
+    assert drop_program("session", [5]).max_steer_queue() == -1
+
+
+def test_chained_concatenates_and_guards_cost_model():
+    a = flow_affine_program(2, (2, 1), cycles_per_packet=5.0)
+    b = meter_program(rate_pps=100.0, burst_pkts=4)
+    combo = chained(a, b)
+    assert combo.table_names() == ("flow_affinity", "meter")
+    with pytest.raises(ValueError, match="share cost_model"):
+        chained(a, meter_program(rate_pps=100.0, burst_pkts=4,
+                                 cost_model="core"))
+    assert chained() == PipelineProgram()
+    assert chained(None, a) == a
+
+
+# -- library builders --------------------------------------------------- #
+
+def test_flow_affine_balances_by_weight():
+    # Two elephants (w=10) and four mice must split across two queues:
+    # greedy LPT puts one elephant per queue.
+    prog = flow_affine_program(2, (10, 10, 1, 1, 1, 1))
+    entries = prog.stages[0].entries
+    assert entries[0].queue != entries[1].queue
+    loads = [0.0, 0.0]
+    for entry, w in zip(entries, (10, 10, 1, 1, 1, 1)):
+        loads[entry.queue] += w
+    assert abs(loads[0] - loads[1]) <= 1
+
+
+def test_library_builders_validate():
+    with pytest.raises(ValueError):
+        flow_affine_program(0, (1,))
+    with pytest.raises(ValueError):
+        flow_affine_program(2, ())
+    with pytest.raises(ValueError):
+        flow_affine_program(2, (1, -1))
+    with pytest.raises(ValueError):
+        hash_rss_program(2, 0)
+    with pytest.raises(ValueError):
+        drop_program("session", [])
+
+
+# -- hashability / cache keys ------------------------------------------- #
+
+def test_programs_are_hashable_config_values():
+    a = flow_affine_program(2, (3, 1))
+    assert hash(a) == hash(flow_affine_program(2, (3, 1)))
+    assert a == flow_affine_program(2, (3, 1))
+
+
+def test_any_table_edit_changes_the_config_digest():
+    base = ServerConfig(pipeline=flow_affine_program(2, (3, 1)))
+    digests = {config_digest(base)}
+    variants = [
+        # (1, 3) reverses which session is the elephant, so the table's
+        # *placement* changes (the program stores placements, not
+        # weights — equal placements hash equal by design).
+        base.with_overrides(pipeline=flow_affine_program(2, (1, 3))),
+        base.with_overrides(pipeline=flow_affine_program(
+            2, (3, 1), cycles_per_packet=1.0)),
+        base.with_overrides(pipeline=flow_affine_program(
+            2, (3, 1), cost_model="core")),
+        base.with_overrides(pipeline=None),
+        base.with_overrides(pipeline=PipelineProgram()),
+        base.with_overrides(flow_weights=(3, 1)),
+    ]
+    for variant in variants:
+        digests.add(config_digest(variant))
+    assert len(digests) == len(variants) + 1
+
+
+def test_identity_and_absent_programs_hash_differently():
+    # Different configs (None vs a truthy program) must never share a
+    # cache line even though their results are bit-identical.
+    assert config_digest(ServerConfig(pipeline=None)) != \
+        config_digest(ServerConfig(pipeline=identity_program()))
